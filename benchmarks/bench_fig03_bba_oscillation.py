@@ -1,0 +1,58 @@
+"""Figure 3: bitrate oscillation of the original BBA algorithm.
+
+When the network capacity R falls strictly between two ladder rungs
+(r1 < R < r2), buffer-based adaptation oscillates: at r1 the buffer grows
+until the map crosses r2, at r2 it drains back.  The paper plots this for
+a capacity of ~3.4 Mbps between the 2.41 and 3.94 Mbps rungs, and fixes it
+with BBA-C's throughput cap (§5.2.2).
+"""
+
+import pytest
+
+from repro.experiments import SessionConfig, run_session
+
+
+def run(abr):
+    # W2.2/L1.2: MPTCP capacity ~3.4 Mbps sits between rungs 4 and 5.
+    config = SessionConfig(video="big_buck_bunny", abr=abr, mpdash=False,
+                           wifi_mbps=2.2, lte_mbps=1.2,
+                           video_duration=400.0)
+    return run_session(config)
+
+
+def oscillations(levels):
+    """Direction changes in the level series (an up-down-up counts two)."""
+    changes = [b - a for a, b in zip(levels, levels[1:]) if b != a]
+    flips = sum(1 for a, b in zip(changes, changes[1:]) if a * b < 0)
+    return flips
+
+
+@pytest.mark.benchmark(group="fig03")
+def test_fig03_bba_oscillates_bba_c_does_not(benchmark, emit):
+    bba = benchmark.pedantic(run, args=("bba",), rounds=1, iterations=1)
+    bba_c = run("bba-c")
+
+    bba_levels = [c.level + 1 for c in bba.player.log.chunks]
+    bba_c_levels = [c.level + 1 for c in bba_c.player.log.chunks]
+    steady = len(bba_levels) // 4  # skip startup ramp
+
+    text = (
+        "BBA   levels: " + "".join(str(l) for l in bba_levels) + "\n"
+        "BBA-C levels: " + "".join(str(l) for l in bba_c_levels) + "\n\n"
+        f"BBA   switches={bba.metrics.quality_switches} "
+        f"oscillation flips={oscillations(bba_levels[steady:])} "
+        f"mean bitrate={bba.metrics.mean_bitrate_mbps:.2f} Mbps\n"
+        f"BBA-C switches={bba_c.metrics.quality_switches} "
+        f"oscillation flips={oscillations(bba_c_levels[steady:])} "
+        f"mean bitrate={bba_c.metrics.mean_bitrate_mbps:.2f} Mbps\n"
+        "paper: BBA oscillates between levels 4 and 5; BBA-C locks level 4")
+    emit("fig03_bba_oscillation", text)
+
+    bba_flips = oscillations(bba_levels[steady:])
+    bba_c_flips = oscillations(bba_c_levels[steady:])
+    assert bba_flips >= 4, "BBA should oscillate between adjacent rungs"
+    assert bba_c_flips <= bba_flips / 2, "BBA-C should suppress oscillation"
+    # BBA's oscillation reaches the top rung; BBA-C stays at the
+    # sustainable one.
+    assert max(bba_levels[steady:]) == 5
+    assert max(bba_c_levels[steady:]) <= 4

@@ -1,0 +1,107 @@
+"""Figure 7 (a/b/c): controlled experiments across network conditions.
+
+The §7.3.2 grid: {FESTIVE, GPAC, BBA, BBA-C} × three WiFi/LTE bandwidth
+combinations × {baseline, MP-DASH duration, MP-DASH rate}.  Conditions
+follow the paper: W3.8/L3.0 and W2.8/L3.0 can sustain the 3.94 Mbps top
+level over MPTCP; W2.2/L1.2 cannot.  As in the testbed (real radios behind
+a Dummynet shaper), links carry a small fluctuation around the pinned
+rate.
+
+Shapes to reproduce:
+* MP-DASH saves substantial cellular data for every throughput-based
+  algorithm under every condition, with zero stalls.
+* Savings shrink from W3.8 to W2.8 (more cellular genuinely needed).
+* BBA saves less than FESTIVE (it is more aggressive), and at W2.2/L1.2
+  original BBA oscillates and yields little or no saving, while BBA-C
+  restores the saving at the cost of locking one level lower.
+"""
+
+import pytest
+
+from repro.experiments import (BASELINE, DURATION, RATE, SessionConfig,
+                               run_schemes)
+from repro.experiments.tables import format_table, pct
+from repro.net.trace import BandwidthTrace
+from repro.net.units import mbps
+
+CONDITIONS = [("W3.8/L3.0", 3.8, 3.0), ("W2.8/L3.0", 2.8, 3.0),
+              ("W2.2/L1.2", 2.2, 1.2)]
+ALGORITHMS = ("festive", "gpac", "bba", "bba-c")
+VIDEO_SECONDS = 300.0
+#: Testbed links are shaped but still jitter a little.
+JITTER = 0.05
+
+
+def make_config(abr, wifi, lte, seed):
+    wifi_trace = BandwidthTrace.gaussian(mbps(wifi), JITTER, 120.0, 0.5,
+                                         seed=seed)
+    lte_trace = BandwidthTrace.gaussian(mbps(lte), JITTER, 120.0, 0.5,
+                                        seed=seed + 1)
+    return SessionConfig(video="big_buck_bunny", abr=abr,
+                         wifi_trace=wifi_trace, lte_trace=lte_trace,
+                         wifi_mbps=None, lte_mbps=None,
+                         video_duration=VIDEO_SECONDS)
+
+
+def run_grid():
+    grid = {}
+    seed = 100
+    for abr in ALGORITHMS:
+        for label, wifi, lte in CONDITIONS:
+            seed += 2
+            grid[(abr, label)] = run_schemes(
+                make_config(abr, wifi, lte, seed))
+    return grid
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_controlled_grid(benchmark, emit):
+    grid = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    rows = []
+    for (abr, condition), comparison in grid.items():
+        base = comparison.baseline.metrics
+        for scheme in (BASELINE, DURATION, RATE):
+            m = comparison.results[scheme].metrics
+            rows.append([
+                abr, condition, scheme, m.cellular_bytes / 1e6,
+                m.radio_energy, m.mean_bitrate_mbps, m.stall_count,
+                pct(comparison.cellular_savings(scheme))
+                if scheme != BASELINE else "-",
+                pct(comparison.cellular_energy_savings(scheme))
+                if scheme != BASELINE else "-",
+            ])
+    table = format_table(
+        ["abr", "condition", "scheme", "LTE MB", "energy J",
+         "bitrate Mbps", "stalls", "cell saved", "LTE-energy saved"],
+        rows, title="Figure 7: controlled experiments")
+    emit("fig07_controlled", table)
+
+    for (abr, condition), comparison in grid.items():
+        for scheme in (DURATION, RATE):
+            assert comparison.stalls(scheme) == 0, (abr, condition)
+
+    # Throughput-based algorithms: savings everywhere, no bitrate loss.
+    for abr in ("festive", "gpac"):
+        for condition, _w, _l in CONDITIONS:
+            comparison = grid[(abr, condition)]
+            assert comparison.cellular_savings(RATE) > 0.3, (abr, condition)
+            assert comparison.cellular_energy_savings(RATE) > 0.05
+            assert abs(comparison.bitrate_reduction(RATE)) < 0.1
+
+    # Savings shrink when WiFi drops from 3.8 to 2.8 (more LTE needed).
+    assert grid[("festive", "W3.8/L3.0")].results[RATE].metrics \
+        .cellular_bytes < grid[("festive", "W2.8/L3.0")] \
+        .results[RATE].metrics.cellular_bytes
+
+    # BBA leaves less room for MP-DASH than FESTIVE under W3.8/L3.0.
+    assert grid[("bba", "W3.8/L3.0")].cellular_savings(RATE) <= \
+        grid[("festive", "W3.8/L3.0")].cellular_savings(RATE) + 0.05
+
+    # W2.2/L1.2: BBA-C (locked one level down) saves clearly; original BBA
+    # saves little or nothing while oscillating to a higher avg bitrate.
+    bba = grid[("bba", "W2.2/L1.2")]
+    bba_c = grid[("bba-c", "W2.2/L1.2")]
+    assert bba_c.cellular_savings(RATE) > 0.3
+    assert bba_c.cellular_savings(RATE) > bba.cellular_savings(RATE)
+    assert bba.baseline.metrics.mean_bitrate > \
+        bba_c.results[RATE].metrics.mean_bitrate

@@ -1,0 +1,79 @@
+"""Table 2: the online scheduler vs the offline optimum, trace-driven.
+
+§7.2.2's methodology reproduced end to end: five bandwidth profiles
+(Table 1), slot length of one RTT (50 ms), Holt-Winters prediction for the
+online algorithm (α=1), and the perfect-knowledge oracle for the optimal
+column.  The paper's findings to preserve: (1) the online algorithm is
+conservative — estimation error shows up as extra cellular data, not
+missed deadlines; (2) the extra cellular usage stays under ~10% of the
+transfer; (3) longer deadlines mean lower cellular fractions.
+"""
+
+import pytest
+
+from repro.core import simulate_online, simulate_oracle
+from repro.experiments.tables import format_table, pct
+from repro.workloads import table1_profiles
+
+SLOT = 0.05
+
+
+def run_table():
+    rows = []
+    for name, profile in table1_profiles().items():
+        for deadline in profile.deadlines:
+            wifi, cell = profile.slot_series(SLOT, deadline * 4 + 30)
+            oracle = simulate_oracle(wifi, cell, SLOT, profile.file_size,
+                                     deadline)
+            online = simulate_online(wifi, cell, SLOT, profile.file_size,
+                                     deadline)
+            rows.append({
+                "profile": name,
+                "deadline": deadline,
+                "optimal": oracle.fraction_on("cellular"),
+                "online": online.fraction_on("cellular"),
+                "diff": (online.fraction_on("cellular")
+                         - oracle.fraction_on("cellular")),
+                "miss": online.missed,
+                "miss_by": online.miss_by,
+            })
+    return rows
+
+
+@pytest.mark.benchmark(group="table2")
+def test_table2_online_vs_optimal(benchmark, emit):
+    rows = benchmark.pedantic(run_table, rounds=1, iterations=1)
+    table = format_table(
+        ["profile", "D/L s", "Cell% optimal", "Cell% online", "diff",
+         "miss?"],
+        [[r["profile"], r["deadline"], pct(r["optimal"]),
+          pct(r["online"]), pct(r["diff"]),
+          f"{r['miss_by'] * 1000:.0f}ms" if r["miss"] else "No"]
+         for r in rows],
+        title="Table 2: online MP-DASH vs offline optimal (trace-driven)")
+    emit("table2_online_vs_optimal", table)
+
+    misses = [r for r in rows if r["miss"]]
+    # Paper: at most one marginal miss (10 ms) across the whole grid.
+    assert len(misses) <= 1
+    if misses:
+        assert misses[0]["miss_by"] < 0.2
+
+    # Conservatism: online uses at least as much cellular as optimal, and
+    # the difference stays small (paper: < 10% of the transfer; our
+    # synthetic stand-in traces are somewhat more volatile than the
+    # authors' captures, so the per-row bound is looser while the mean
+    # stays paper-scale).
+    for r in rows:
+        assert r["diff"] >= -0.02, r
+        assert r["diff"] <= 0.25, r
+    mean_diff = sum(r["diff"] for r in rows) / len(rows)
+    assert mean_diff <= 0.10
+
+    # Longer deadlines monotonically reduce the optimal cellular fraction.
+    by_profile = {}
+    for r in rows:
+        by_profile.setdefault(r["profile"], []).append(r)
+    for profile_rows in by_profile.values():
+        fractions = [r["optimal"] for r in profile_rows]
+        assert fractions == sorted(fractions, reverse=True)

@@ -1,0 +1,80 @@
+"""Cross-validation: fluid transport vs packet-granularity transport.
+
+Not a paper table — a soundness check for the reproduction itself.  The
+Figure-4 grid (5 MB download, WiFi 3.8 / LTE 3.0, deadlines 8/9/10 s plus
+the unscheduled baseline) is executed by both transport models; the
+quantities every headline result rests on — per-path byte split, deadline
+verdicts, the monotone deadline/cellular trade — must agree.
+"""
+
+import pytest
+
+from repro.experiments import FileDownloadConfig, run_file_download
+from repro.experiments.tables import format_table, pct
+from repro.mptcp.packet_level import run_packet_download
+from repro.net.link import cellular_path, wifi_path
+from repro.net.units import megabytes
+
+SIZE = megabytes(5)
+
+
+def fresh_paths():
+    return [wifi_path(bandwidth_mbps=3.8), cellular_path(bandwidth_mbps=3.0)]
+
+
+def run_grid():
+    rows = []
+    for deadline in (None, 8.0, 9.0, 10.0):
+        packet = run_packet_download(fresh_paths(), SIZE, deadline=deadline)
+        fluid = run_file_download(FileDownloadConfig(
+            size=SIZE, deadline=deadline if deadline else 10.0,
+            mpdash=deadline is not None, wifi_mbps=3.8, lte_mbps=3.0))
+        rows.append({
+            "deadline": deadline,
+            "packet": packet,
+            "fluid": fluid,
+        })
+    return rows
+
+
+@pytest.mark.benchmark(group="validation")
+def test_fluid_vs_packet_transport(benchmark, emit):
+    rows = benchmark.pedantic(run_grid, rounds=1, iterations=1)
+    table = format_table(
+        ["deadline", "model", "duration s", "cell MB", "cell %", "met?"],
+        [entry for row in rows for entry in (
+            [str(row["deadline"] or "bulk"), "packet",
+             row["packet"].duration,
+             row["packet"].bytes_per_path["cellular"] / 1e6,
+             pct(row["packet"].fraction_on("cellular")),
+             "MISS" if row["packet"].missed_deadline else "ok"],
+            [str(row["deadline"] or "bulk"), "fluid",
+             row["fluid"].duration,
+             row["fluid"].cellular_bytes / 1e6,
+             pct(row["fluid"].cellular_fraction),
+             "MISS" if row["fluid"].missed_deadline else "ok"],
+        )],
+        title="Transport cross-validation (5MB, W3.8/L3.0)")
+    emit("validation_transport", table)
+
+    bulk = rows[0]
+    # Unscheduled split agrees closely (the capacity ratio dominates).
+    assert bulk["packet"].fraction_on("cellular") == pytest.approx(
+        bulk["fluid"].cellular_fraction, abs=0.05)
+    # Fluid is the loss-free lower bound on duration.
+    assert bulk["fluid"].duration <= bulk["packet"].duration \
+        <= bulk["fluid"].duration * 1.35
+
+    cellular_by_deadline = []
+    for row in rows[1:]:
+        assert row["packet"].missed_deadline == \
+            row["fluid"].missed_deadline == False  # noqa: E712
+        cellular_by_deadline.append(
+            row["packet"].bytes_per_path["cellular"])
+        # Both models save vs their bulk runs (the tightest deadline, 8 s,
+        # barely has slack, so the bound is soft there).
+        assert row["packet"].bytes_per_path["cellular"] < \
+            0.9 * bulk["packet"].bytes_per_path["cellular"]
+    # The deadline/cellular trade is monotone in both models.
+    assert cellular_by_deadline == sorted(cellular_by_deadline,
+                                          reverse=True)

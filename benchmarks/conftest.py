@@ -1,0 +1,42 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one of the paper's tables or figures: it runs the
+experiment inside pytest-benchmark (so the harness also tracks runtime),
+prints the resulting rows/series, and persists them under
+``benchmarks/results/`` so the output survives pytest's capture.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def emit(results_dir):
+    """Print a labelled artifact and persist it to results/<name>.txt."""
+
+    def _emit(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n=== {name} ===")
+        print(text)
+
+    return _emit
+
+
+def full_runs() -> bool:
+    """Whether to run field-study benches at full paper scale.
+
+    Set REPRO_FULL=1 for full 10-minute videos everywhere; the default
+    uses shorter sessions that preserve every qualitative shape.
+    """
+    return os.environ.get("REPRO_FULL", "") == "1"

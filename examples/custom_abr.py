@@ -1,0 +1,85 @@
+"""Plugging a custom rate-adaptation algorithm into MP-DASH.
+
+The §5 adapter was designed so off-the-shelf DASH algorithms become
+multipath-friendly with a few lines of change.  This example writes a tiny
+custom throughput-based ABR from scratch, registers nothing anywhere —
+just hands the instance to the player — and runs it with and without
+MP-DASH.  The only MP-DASH-awareness the algorithm needs is using
+``ctx.effective_throughput()`` (which prefers the transport's aggregate
+estimate when the adapter supplies it) instead of its own measurement.
+
+Run with:  python examples/custom_abr.py
+"""
+
+from repro.abr.base import THROUGHPUT_BASED, AbrAlgorithm, AbrContext
+from repro.core.adapter import MpDashAdapter
+from repro.core.policy import prefer_wifi
+from repro.core.socket_api import MpDashSocket
+from repro.dash import DashPlayer, DashServer, HttpClient
+from repro.experiments.tables import pct
+from repro.mptcp import MptcpConnection
+from repro.net import Simulator, cellular_path, wifi_path
+from repro.workloads import video_asset
+
+
+class TwoSpeedAbr(AbrAlgorithm):
+    """A deliberately simple ABR: top level when throughput comfortably
+    exceeds it, lowest level otherwise, with one mid step between."""
+
+    name = "two-speed"
+    category = THROUGHPUT_BASED
+
+    def __init__(self, headroom: float = 1.2):
+        self.headroom = headroom
+
+    def choose_level(self, ctx: AbrContext) -> int:
+        throughput = ctx.effective_throughput()
+        if throughput is None:
+            return 0
+        bitrates = ctx.manifest.bitrates()
+        if throughput > self.headroom * bitrates[-1]:
+            return len(bitrates) - 1
+        if throughput > self.headroom * bitrates[len(bitrates) // 2]:
+            return len(bitrates) // 2
+        return 0
+
+
+def run_session(mpdash: bool):
+    sim = Simulator()
+    connection = MptcpConnection(sim, [wifi_path(bandwidth_mbps=6.0),
+                                       cellular_path(bandwidth_mbps=4.0)])
+    server = DashServer()
+    server.host(video_asset("big_buck_bunny", duration=240.0))
+    client = HttpClient(connection, server.resolve)
+
+    addon = None
+    if mpdash:
+        socket = MpDashSocket(connection, prefer_wifi())
+        addon = MpDashAdapter(socket, deadline_mode="rate")
+
+    player = DashPlayer(sim, client, server.manifest("big_buck_bunny"),
+                        TwoSpeedAbr(), addon=addon)
+    player.start()
+    while not player.finished and sim.now < 600.0:
+        sim.run(until=sim.now + 5.0)
+    connection.close()
+    cellular = connection.subflow("cellular").total_bytes
+    levels = [c.level for c in player.log.chunks]
+    return cellular, levels, player.log.stall_count
+
+
+def main() -> None:
+    base_cell, base_levels, base_stalls = run_session(mpdash=False)
+    dash_cell, dash_levels, dash_stalls = run_session(mpdash=True)
+    print("Custom two-speed ABR over WiFi 6 / LTE 4 Mbps")
+    print(f"  vanilla MPTCP: {base_cell / 1e6:6.1f} MB cellular, "
+          f"mean level {sum(base_levels) / len(base_levels) + 1:.2f}, "
+          f"{base_stalls} stalls")
+    print(f"  with MP-DASH:  {dash_cell / 1e6:6.1f} MB cellular, "
+          f"mean level {sum(dash_levels) / len(dash_levels) + 1:.2f}, "
+          f"{dash_stalls} stalls")
+    print(f"  cellular saved: {pct(1 - dash_cell / base_cell)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Music prefetching and navigation tiles over MP-DASH (§8).
+
+The deadline-aware scheduler is a general building block: the §8 examples
+— a music app prefetching the next song, a navigation app prefetching map
+tiles ahead of the vehicle — run here over the same MP_DASH_ENABLE socket
+API the video adapter uses.
+
+Run with:  python examples/delay_tolerant_apps.py
+"""
+
+from repro.apps import (MusicPrefetcher, NavigationPrefetcher,
+                        PlaylistTrack, RouteTile)
+from repro.core.policy import prefer_wifi
+from repro.core.socket_api import MpDashSocket
+from repro.experiments.tables import format_table, pct
+from repro.mptcp import MptcpConnection
+from repro.net import Simulator, cellular_path, wifi_path
+from repro.net.units import megabytes
+
+
+def make_transport(mpdash: bool):
+    sim = Simulator()
+    connection = MptcpConnection(sim, [wifi_path(bandwidth_mbps=4.0),
+                                       cellular_path(bandwidth_mbps=6.0)])
+    socket = MpDashSocket(connection, prefer_wifi()) if mpdash else None
+    return sim, connection, socket
+
+
+def drive(sim, app, cap=900.0):
+    app.start()
+    while not app.finished and sim.now < cap:
+        sim.run(until=sim.now + 5.0)
+
+
+def music_demo() -> None:
+    playlist = [
+        PlaylistTrack("opening theme", megabytes(4), 45.0),
+        PlaylistTrack("acoustic set", megabytes(9), 70.0),
+        PlaylistTrack("interview", megabytes(6), 55.0),
+        PlaylistTrack("encore", megabytes(8), 60.0),
+    ]
+    rows = []
+    for label, mpdash in (("vanilla MPTCP", False), ("MP-DASH", True)):
+        sim, connection, socket = make_transport(mpdash)
+        app = MusicPrefetcher(sim, connection, socket, playlist)
+        drive(sim, app)
+        rows.append([label, f"{app.cellular_bytes / 1e6:.1f}",
+                     f"{app.prefetches_on_time()}/{len(playlist) - 1}",
+                     f"{app.stall_time:.1f}"])
+    print(format_table(
+        ["transport", "cellular MB", "prefetches on time", "silence s"],
+        rows, title="Music prefetching (WiFi 4 / LTE 6 Mbps)"))
+
+
+def navigation_demo() -> None:
+    route = [RouteTile(f"tile-{i:02d}", megabytes(2), 350.0 * (i + 1))
+             for i in range(10)]
+    rows = []
+    for label, mpdash in (("vanilla MPTCP", False), ("MP-DASH", True)):
+        sim, connection, socket = make_transport(mpdash)
+        app = NavigationPrefetcher(sim, connection, socket, route,
+                                   speed=14.0)
+        drive(sim, app)
+        rows.append([label, f"{app.cellular_bytes / 1e6:.1f}",
+                     f"{app.tiles_on_time()}/{len(route)}"])
+    print()
+    print(format_table(
+        ["transport", "cellular MB", "tiles before vehicle"],
+        rows, title="Navigation tile prefetching (14 m/s drive)"))
+
+
+def main() -> None:
+    music_demo()
+    navigation_demo()
+    print("\nSame QoE, a fraction of the cellular data — the deadline is "
+          "the only thing the app had to declare.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+"""Field study: MP-DASH at public WiFi locations.
+
+Streams the same video at a handful of catalog locations — a hotel with
+weak WiFi, a flaky coffeehouse, a library with ample WiFi — and shows how
+MP-DASH's savings scale with WiFi quality, reproducing the §7.3.3 story in
+miniature (run the full 33-location version with
+``pytest benchmarks/bench_field_study.py --benchmark-only``).
+
+Run with:  python examples/field_study.py
+"""
+
+from repro import SessionConfig, run_schemes
+from repro.experiments import RATE
+from repro.experiments.tables import format_table, pct
+from repro.workloads import location_by_name
+
+LOCATIONS = ("hotel_hi", "coffeehouse", "library")
+VIDEO_SECONDS = 240.0
+
+
+def location_config(location) -> SessionConfig:
+    wifi, lte = location.paths(duration=2 * VIDEO_SECONDS + 200)
+    return SessionConfig(
+        video="big_buck_bunny", abr="festive",
+        wifi_trace=wifi.trace, lte_trace=lte.trace,
+        wifi_mbps=None, lte_mbps=None,
+        wifi_rtt_ms=location.wifi_rtt_ms,
+        lte_rtt_ms=location.lte_rtt_ms,
+        video_duration=VIDEO_SECONDS,
+    )
+
+
+def main() -> None:
+    rows = []
+    for name in LOCATIONS:
+        location = location_by_name(name)
+        print(f"Streaming at {name} "
+              f"(WiFi {location.wifi_mbps} Mbps, LTE {location.lte_mbps} "
+              f"Mbps)…")
+        comparison = run_schemes(location_config(location),
+                                 schemes=("baseline", RATE))
+        treated = comparison.results[RATE].metrics
+        rows.append([
+            name, location.wifi_mbps,
+            f"{comparison.baseline.metrics.cellular_bytes / 1e6:.1f}",
+            f"{treated.cellular_bytes / 1e6:.1f}",
+            pct(comparison.cellular_savings(RATE)),
+            pct(comparison.cellular_energy_savings(RATE)),
+            treated.stall_count,
+        ])
+    print()
+    print(format_table(
+        ["location", "wifi Mbps", "baseline cell MB", "mp-dash cell MB",
+         "cell saved", "LTE energy saved", "stalls"], rows,
+        title="MP-DASH savings grow with WiFi quality"))
+
+
+if __name__ == "__main__":
+    main()

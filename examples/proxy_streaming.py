@@ -1,0 +1,76 @@
+"""Streaming through a TCP-splitting proxy (§8 deployability).
+
+The paper's deployment story: almost all MP-DASH logic is client-side, and
+with a standard TCP-splitting proxy even the server's MPTCP support becomes
+unnecessary — the origin sees one vanilla TCP connection, while the
+proxy↔client leg runs MP-DASH-enabled MPTCP.
+
+This example streams a full DASH session that way and shows (a) every byte
+crossed the origin leg exactly once on a single path, and (b) the client
+leg's cellular avoidance worked exactly as in the direct setup.
+
+Run with:  python examples/proxy_streaming.py
+"""
+
+from repro.abr import Festive
+from repro.core.adapter import MpDashAdapter
+from repro.core.policy import prefer_wifi
+from repro.core.socket_api import MpDashSocket
+from repro.dash import DashPlayer, DashServer, HttpClient
+from repro.experiments.tables import format_table, pct
+from repro.mptcp import MptcpConnection, SplittingProxy
+from repro.net import BandwidthTrace, Path, Simulator, cellular_path, \
+    mbps, wifi_path
+from repro.workloads import video_asset
+
+VIDEO_SECONDS = 240.0
+
+
+def run(mpdash: bool):
+    sim = Simulator()
+    client_leg = MptcpConnection(sim, [wifi_path(bandwidth_mbps=3.8),
+                                       cellular_path(bandwidth_mbps=3.0)])
+    addon = None
+    if mpdash:
+        socket = MpDashSocket(client_leg, prefer_wifi())
+        addon = MpDashAdapter(socket, deadline_mode="rate")
+    origin_leg = Path("origin", BandwidthTrace.constant(mbps(40.0)),
+                      rtt=0.02)
+    proxy = SplittingProxy(sim, origin_leg, client_leg)
+
+    server = DashServer()  # the unmodified origin
+    server.host(video_asset("big_buck_bunny", duration=VIDEO_SECONDS))
+    client = HttpClient(client_leg, server.resolve, fetcher=proxy.fetch)
+    player = DashPlayer(sim, client, server.manifest("big_buck_bunny"),
+                        Festive(), addon=addon)
+    player.start()
+    while not player.finished and sim.now < 3 * VIDEO_SECONDS:
+        sim.run(until=sim.now + 5.0)
+    return player, client_leg, proxy
+
+
+def main() -> None:
+    rows = []
+    for label, mpdash in (("proxy, vanilla MPTCP", False),
+                          ("proxy + MP-DASH", True)):
+        player, client_leg, proxy = run(mpdash)
+        total = sum(c.size for c in player.log.chunks)
+        cellular = client_leg.subflow("cellular").total_bytes
+        rows.append([
+            label,
+            f"{proxy.origin_bytes / 1e6:.1f}",
+            f"{cellular / 1e6:.1f}",
+            pct(cellular / total),
+            player.log.stall_count,
+        ])
+    print(format_table(
+        ["setup", "origin MB (single path)", "cellular MB",
+         "cellular share", "stalls"], rows,
+        title="DASH through a TCP-splitting proxy (origin unmodified)"))
+    print("\nThe origin server never saw MPTCP, let alone MP-DASH — the "
+          "preference enforcement happened entirely on the proxy-client "
+          "leg.")
+
+
+if __name__ == "__main__":
+    main()

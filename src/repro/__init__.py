@@ -1,0 +1,46 @@
+"""MP-DASH: Adaptive Video Streaming Over Preference-Aware Multipath.
+
+A from-scratch Python reproduction of the CoNEXT 2016 system: the
+deadline-aware MP-DASH scheduler, the video adapter, and every substrate —
+an MPTCP transport simulator, a DASH stack with four rate-adaptation
+algorithms, Holt-Winters throughput prediction, a radio energy model, the
+paper's workloads, and the multipath video analysis tool.
+
+Quick start::
+
+    from repro import SessionConfig, run_session
+
+    result = run_session(SessionConfig(abr="festive", mpdash=True,
+                                       deadline_mode="rate",
+                                       wifi_mbps=3.8, lte_mbps=3.0))
+    print(result.metrics.cellular_bytes, result.metrics.radio_energy)
+"""
+
+from .abr import abr_names, make_abr
+from .analysis import MultipathVideoAnalyzer, SessionMetrics
+from .core import (DeadlineAwareScheduler, MpDashAdapter, MpDashSocket,
+                   Preference, prefer_cellular, prefer_wifi, simulate_online,
+                   simulate_oracle, solve_offline)
+from .dash import DashPlayer, DashServer, Manifest, VideoAsset
+from .experiments import (FileDownloadConfig, SchemeComparison, SessionConfig,
+                          SessionResult, run_file_download, run_schemes,
+                          run_session)
+from .mptcp import MptcpConnection
+from .net import (BandwidthTrace, Path, Simulator, cellular_path, mbps,
+                  wifi_path)
+from .workloads import (MobilityScenario, field_study_locations,
+                        table1_profiles, video_asset)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandwidthTrace", "DashPlayer", "DashServer", "DeadlineAwareScheduler",
+    "FileDownloadConfig", "Manifest", "MobilityScenario", "MpDashAdapter",
+    "MpDashSocket", "MptcpConnection", "MultipathVideoAnalyzer", "Path",
+    "Preference", "SchemeComparison", "SessionConfig", "SessionMetrics",
+    "SessionResult", "Simulator", "VideoAsset", "abr_names",
+    "cellular_path", "field_study_locations", "make_abr", "mbps",
+    "prefer_cellular", "prefer_wifi", "run_file_download", "run_schemes",
+    "run_session", "simulate_online", "simulate_oracle", "solve_offline",
+    "table1_profiles", "video_asset", "wifi_path",
+]

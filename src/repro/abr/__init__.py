@@ -1,0 +1,45 @@
+"""DASH rate-adaptation algorithms: GPAC, FESTIVE, BBA-2, BBA-C, MPC."""
+
+from typing import List
+
+from .base import (BUFFER_BASED, HYBRID, THROUGHPUT_BASED, AbrAlgorithm,
+                   AbrContext)
+from .bba import Bba
+from .bba_c import BbaC
+from .festive import Festive
+from .gpac import Gpac
+from .mpc import Mpc
+
+def _robust_mpc(**kwargs):
+    kwargs.setdefault("robust", True)
+    return Mpc(**kwargs)
+
+
+_ALGORITHMS = {
+    Gpac.name: Gpac,
+    Festive.name: Festive,
+    Bba.name: Bba,
+    BbaC.name: BbaC,
+    Mpc.name: Mpc,
+    "robust-mpc": _robust_mpc,
+}
+
+
+def make_abr(name: str, **kwargs) -> AbrAlgorithm:
+    """Instantiate an ABR algorithm by its table name."""
+    try:
+        return _ALGORITHMS[name](**kwargs)
+    except KeyError:
+        known = ", ".join(sorted(_ALGORITHMS))
+        raise ValueError(f"unknown ABR algorithm {name!r} "
+                         f"(known: {known})") from None
+
+
+def abr_names() -> List[str]:
+    return sorted(_ALGORITHMS)
+
+
+__all__ = [
+    "AbrAlgorithm", "AbrContext", "BUFFER_BASED", "Bba", "BbaC", "Festive",
+    "Gpac", "HYBRID", "Mpc", "THROUGHPUT_BASED", "abr_names", "make_abr",
+]

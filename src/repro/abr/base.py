@@ -1,0 +1,84 @@
+"""Rate-adaptation (ABR) algorithm interface.
+
+DASH rate adaptation falls into two main categories (§5): throughput-based
+(FESTIVE, GPAC) and buffer-based (BBA), plus hybrids (MPC).  Every
+algorithm here implements one method — pick the quality level of the next
+chunk — against a context snapshot of what a real player would know.
+
+The ``override_throughput`` field is the MP-DASH cross-layer hook: a player
+under MP-DASH may have its cellular path disabled, so its own throughput
+measurement under-estimates the network.  The MP-DASH adapter fills the
+override with the transport's aggregate estimate, and throughput-based
+algorithms must prefer it (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..dash.events import ChunkRecord
+from ..dash.manifest import Manifest
+
+#: Algorithm categories; the MP-DASH adapter dispatches its Φ/Ω rules on
+#: these (§5.2).
+THROUGHPUT_BASED = "throughput"
+BUFFER_BASED = "buffer"
+HYBRID = "hybrid"
+
+
+@dataclass
+class AbrContext:
+    """What the player knows when choosing the next chunk's level."""
+
+    manifest: Manifest
+    buffer_level: float
+    buffer_capacity: float
+    next_chunk_index: int
+    #: Level of the previously fetched chunk; None before the first chunk.
+    current_level: Optional[int] = None
+    #: The player's own throughput measurement (bytes/second; None before
+    #: the first chunk completes).
+    measured_throughput: Optional[float] = None
+    #: Transport-level aggregate estimate injected by the MP-DASH adapter;
+    #: overrides the player's own measurement when present.
+    override_throughput: Optional[float] = None
+    history: List[ChunkRecord] = field(default_factory=list)
+    #: True until the player has begun steady-state playback.
+    in_startup: bool = True
+
+    def effective_throughput(self) -> Optional[float]:
+        """The throughput a throughput-based algorithm should use."""
+        if self.override_throughput is not None:
+            return self.override_throughput
+        return self.measured_throughput
+
+
+class AbrAlgorithm(ABC):
+    """Chooses the encoding level of each chunk."""
+
+    #: Short name used in results tables.
+    name: str = "abr"
+    #: One of THROUGHPUT_BASED, BUFFER_BASED, HYBRID.
+    category: str = THROUGHPUT_BASED
+
+    def initial_level(self, manifest: Manifest) -> int:
+        """Level for the very first chunk; conservative default: lowest."""
+        return 0
+
+    @abstractmethod
+    def choose_level(self, ctx: AbrContext) -> int:
+        """Level index for chunk ``ctx.next_chunk_index``."""
+
+    def on_chunk_downloaded(self, record: ChunkRecord) -> None:
+        """Hook for algorithms keeping internal state (e.g. FESTIVE)."""
+
+    def reset(self) -> None:
+        """Discard internal state (start of a new session)."""
+
+    def _clamp(self, level: int, manifest: Manifest) -> int:
+        return max(0, min(manifest.num_levels - 1, level))
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} name={self.name!r}>"

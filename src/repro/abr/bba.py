@@ -1,0 +1,157 @@
+"""Buffer-Based Adaptation — BBA-2 (Huang et al., SIGCOMM 2014).
+
+BBA is the paper's representative *buffer-based* algorithm: the quality
+level is a function of buffer occupancy alone, because at steady state the
+buffer level implicitly encodes the relation between network capacity and
+the selected bitrate.
+
+The rate map ``f(B)`` is linear across a cushion between a lower
+*reservoir* (below it: minimum rate — the buffer is too close to a stall)
+and an upper knee (above it: maximum rate).  The chunk-by-chunk selection
+uses the BBA hysteresis rule: stay at the current rate while ``f(B)`` sits
+between the adjacent ladder rungs, jump only when it crosses one.
+
+BBA-2's startup phase is reproduced in simplified form: while the buffer
+map still outputs less than the current rate, the player steps up one level
+whenever the previous chunk downloaded clearly faster than real time
+(download time below ``startup_speedup × chunk duration``), and exits
+startup once ``f(B)`` catches up with the chosen rate.
+
+The known pathology the paper leans on (Figure 3): when the network
+capacity ``R`` falls strictly between two ladder rungs r1 < R < r2, BBA
+oscillates — at r1 the buffer grows until ``f(B)`` crosses r2, at r2 the
+buffer drains until ``f(B)`` falls back.  ``repro.abr.bba_c`` removes the
+oscillation by capping the level at the measured throughput.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .base import BUFFER_BASED, AbrAlgorithm, AbrContext
+
+
+class Bba(AbrAlgorithm):
+    """BBA-2: buffer-mapped rate selection with a startup ramp."""
+
+    name = "bba"
+    category = BUFFER_BASED
+
+    def __init__(self, reservoir_fraction: float = 0.25,
+                 upper_fraction: float = 0.85,
+                 startup_speedup: float = 0.5):
+        if not 0 < reservoir_fraction < upper_fraction <= 1:
+            raise ValueError(
+                f"need 0 < reservoir < upper <= 1, got "
+                f"{reservoir_fraction!r}, {upper_fraction!r}")
+        if not 0 < startup_speedup < 1:
+            raise ValueError(
+                f"startup_speedup must be in (0, 1): {startup_speedup!r}")
+        self.reservoir_fraction = reservoir_fraction
+        self.upper_fraction = upper_fraction
+        self.startup_speedup = startup_speedup
+        self._in_startup_phase = True
+
+    def reset(self) -> None:
+        self._in_startup_phase = True
+
+    # ------------------------------------------------------------------
+    # The rate map and its inverse
+    # ------------------------------------------------------------------
+    def rate_map(self, buffer_level: float, capacity: float,
+                 bitrates) -> float:
+        """``f(B)``: linear from R_min at the reservoir to R_max at the
+        upper knee (bytes/second)."""
+        reservoir = self.reservoir_fraction * capacity
+        upper = self.upper_fraction * capacity
+        r_min, r_max = bitrates[0], bitrates[-1]
+        if buffer_level <= reservoir:
+            return r_min
+        if buffer_level >= upper:
+            return r_max
+        slope = (r_max - r_min) / (upper - reservoir)
+        return r_min + slope * (buffer_level - reservoir)
+
+    def level_buffer_range(self, level: int, capacity: float,
+                           bitrates) -> Tuple[float, float]:
+        """Buffer interval [el, eh] over which ``f(B)`` maps to ``level``.
+
+        ``el`` is where ``f`` first reaches the level's bitrate and ``eh``
+        where it reaches the next level's (capacity for the top level).
+        The MP-DASH adapter derives its low-buffer threshold Ω from ``el``
+        (§5.2.2).
+        """
+        if not 0 <= level < len(bitrates):
+            raise IndexError(f"level {level} out of range")
+        reservoir = self.reservoir_fraction * capacity
+        upper = self.upper_fraction * capacity
+        r_min, r_max = bitrates[0], bitrates[-1]
+        if r_max == r_min:
+            return (reservoir, capacity)
+
+        def inverse(rate: float) -> float:
+            fraction = (rate - r_min) / (r_max - r_min)
+            return reservoir + fraction * (upper - reservoir)
+
+        el = inverse(bitrates[level])
+        eh = inverse(bitrates[level + 1]) if level + 1 < len(bitrates) \
+            else capacity
+        return (el, eh)
+
+    # ------------------------------------------------------------------
+    # Selection
+    # ------------------------------------------------------------------
+    def choose_level(self, ctx: AbrContext) -> int:
+        bitrates = ctx.manifest.bitrates()
+        current = ctx.current_level
+        if current is None:
+            return self.initial_level(ctx.manifest)
+
+        f_value = self.rate_map(ctx.buffer_level, ctx.buffer_capacity,
+                                bitrates)
+        if self._in_startup_phase:
+            # Exit startup once the buffer map overtakes the startup-chosen
+            # rate (strictly — at the reservoir f equals the lowest rate,
+            # which must not end startup for a level-0 player).
+            if f_value > bitrates[current]:
+                self._in_startup_phase = False
+            else:
+                return self._startup_level(ctx, current)
+
+        return self._steady_level(ctx, current, f_value, bitrates)
+
+    def _startup_level(self, ctx: AbrContext, current: int) -> int:
+        """BBA-2 startup: ride the download-speed ramp one level at a time."""
+        last = ctx.history[-1] if ctx.history else None
+        if last is None:
+            return current
+        chunk_duration = ctx.manifest.chunk_duration
+        if last.download_time < self.startup_speedup * chunk_duration:
+            return self._clamp(current + 1, ctx.manifest)
+        if last.download_time > chunk_duration:
+            # Falling behind real time during startup: back off.
+            return self._clamp(current - 1, ctx.manifest)
+        return current
+
+    def _steady_level(self, ctx: AbrContext, current: int, f_value: float,
+                      bitrates) -> int:
+        rate_up = (bitrates[current + 1] if current + 1 < len(bitrates)
+                   else float("inf"))
+        rate_down = bitrates[current - 1] if current > 0 else 0.0
+        if f_value >= bitrates[-1]:
+            # Buffer at/above the cushion top: the map saturates at R_max.
+            return len(bitrates) - 1
+        if f_value >= rate_up:
+            # Highest level strictly below f(B).
+            level = current
+            for index, bitrate in enumerate(bitrates):
+                if bitrate < f_value:
+                    level = index
+            return level
+        if f_value <= rate_down:
+            # Lowest level at or above f(B) — one notch under the map.
+            for index, bitrate in enumerate(bitrates):
+                if bitrate >= f_value:
+                    return index
+            return len(bitrates) - 1
+        return current

@@ -1,0 +1,37 @@
+"""GPAC's built-in rate adaptation.
+
+The open-source GPAC player (the paper's implementation base) ships a
+simple throughput-based algorithm: estimate throughput from the download
+time of the *last* chunk, then pick the highest encoding bitrate below the
+estimate.  No smoothing, no hysteresis — which makes it the most reactive
+(and least stable) of the throughput-based algorithms.
+"""
+
+from __future__ import annotations
+
+from .base import THROUGHPUT_BASED, AbrAlgorithm, AbrContext
+
+
+class Gpac(AbrAlgorithm):
+    """Last-chunk-throughput rate selection (GPAC v0.5.2 behaviour)."""
+
+    name = "gpac"
+    category = THROUGHPUT_BASED
+
+    def __init__(self, safety: float = 1.0):
+        """``safety`` scales the estimate before level selection; GPAC uses
+        the raw estimate (1.0)."""
+        if not 0 < safety <= 1:
+            raise ValueError(f"safety must be in (0, 1]: {safety!r}")
+        self.safety = safety
+
+    def choose_level(self, ctx: AbrContext) -> int:
+        estimate = ctx.effective_throughput()
+        if estimate is None:
+            return self.initial_level(ctx.manifest)
+        usable = estimate * self.safety
+        level = 0
+        for index, bitrate in enumerate(ctx.manifest.bitrates()):
+            if bitrate <= usable:
+                level = index
+        return level

@@ -1,0 +1,79 @@
+"""Full-session text reports.
+
+Combines everything the analysis tool knows about one streaming session —
+QoE metrics, resource usage, scheduler statistics, per-path utilization,
+the Figure-8 chunk strip, and the per-path throughput patterns — into one
+human-readable report.  This is the programmatic face of the paper's
+multipath video analysis tool; the CLI's ``stream --visualize`` prints it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..experiments.tables import format_table, pct
+from .visualize import chunk_timeline, throughput_plot
+
+
+def session_report(result, pattern_window: Optional[float] = 120.0,
+                   width: int = 100) -> str:
+    """Render a :class:`~repro.experiments.runner.SessionResult`.
+
+    ``pattern_window`` bounds the throughput-pattern plots (None = whole
+    session; long sessions downsample anyway).
+    """
+    metrics = result.metrics
+    analyzer = result.analyzer
+    sections: List[str] = []
+
+    config = result.config
+    mode = (f"MP-DASH ({config.deadline_mode})" if config.mpdash
+            else "vanilla MPTCP")
+    sections.append(
+        f"Session: {config.video} / {config.abr} / {mode}, "
+        f"{result.session_duration:.0f}s simulated, "
+        f"{'finished' if result.finished else 'TIMED OUT'}")
+
+    rows = [
+        ["cellular data", f"{metrics.cellular_bytes / 1e6:.2f} MB "
+         f"({pct(metrics.cellular_fraction)})"],
+        ["wifi data", f"{metrics.wifi_bytes / 1e6:.2f} MB"],
+        ["radio energy", f"{metrics.radio_energy:.1f} J "
+         f"(cellular {metrics.cellular_energy:.1f} J)"],
+        ["playback bitrate", f"{metrics.mean_bitrate_mbps:.2f} Mbps"],
+        ["quality switches", metrics.quality_switches],
+        ["stalls", f"{metrics.stall_count} "
+         f"({metrics.total_stall_time:.1f}s)"],
+        ["startup delay", f"{metrics.startup_delay:.2f}s"
+         if metrics.startup_delay is not None else "-"],
+    ]
+    utilization = analyzer.utilization()
+    for path in sorted(utilization):
+        rows.append([f"{path} utilization", pct(utilization[path])])
+    stats = result.scheduler_stats
+    if stats:
+        rows.append(["MP-DASH activations", stats["activations"]])
+        rows.append(["deadline misses", stats["deadline_misses"]])
+    sections.append(format_table(["metric", "value"], rows))
+
+    views = analyzer.chunk_views()
+    if views:
+        sections.append("Chunk strip (Figure-8 view):")
+        sections.append(chunk_timeline(views, width=width))
+
+    horizon = (min(pattern_window, result.session_duration)
+               if pattern_window is not None else result.session_duration)
+    series = []
+    for path in analyzer.activity.paths():
+        _times, values = analyzer.throughput_timeline(path, until=horizon)
+        series.append((path, values))
+    if series:
+        sections.append(f"Throughput patterns (first {horizon:.0f}s):")
+        sections.append(throughput_plot(
+            series, interval=analyzer.activity.bin_width, width=width))
+
+    gaps = analyzer.idle_gaps(min_duration=1.0)
+    idle_total = sum(g.duration for g in gaps)
+    sections.append(f"Idle gaps >= 1s: {len(gaps)} "
+                    f"totalling {idle_total:.1f}s")
+    return "\n\n".join(sections)

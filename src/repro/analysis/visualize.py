@@ -1,0 +1,98 @@
+"""Text renderings of the paper's figures.
+
+The original analysis tool visualizes sessions graphically (Figure 8: one
+bar per chunk, bar height = size, width = download duration, color =
+quality level, black fill = cellular fraction).  These functions produce
+the terminal equivalents used by the benchmark harness:
+
+* :func:`chunk_timeline` — the Figure-8 chunk strip,
+* :func:`throughput_plot` — ASCII strip charts for the per-path throughput
+  figures (1, 6, 11),
+* :func:`sparkline` — compact single-line series.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from .analyzer import ChunkView
+
+#: Quality level glyphs, level 0 (lowest) upward.
+_LEVEL_GLYPHS = "▁▂▄▆█"
+_SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
+
+
+def _level_glyph(level: int) -> str:
+    return _LEVEL_GLYPHS[min(level, len(_LEVEL_GLYPHS) - 1)]
+
+
+def chunk_timeline(chunks: Sequence[ChunkView], width: int = 100) -> str:
+    """Figure-8-style strip: one column group per chunk.
+
+    Each chunk renders as ``<level glyph><cellular digit>`` where the digit
+    is the cellular byte share in tenths (``.`` for zero, ``9`` for >90%);
+    e.g. ``█.`` is a top-quality chunk fetched entirely over WiFi and
+    ``▄7`` a mid-quality chunk with ~70% of bytes on cellular.
+    """
+    if width < 10:
+        raise ValueError(f"width too small: {width!r}")
+    cells: List[str] = []
+    for chunk in chunks:
+        tenth = int(round(chunk.cellular_fraction * 10))
+        marker = "." if tenth == 0 else str(min(tenth, 9))
+        cells.append(_level_glyph(chunk.level) + marker)
+    lines = []
+    per_line = max(1, width // 2)
+    for i in range(0, len(cells), per_line):
+        lines.append("".join(cells[i:i + per_line]))
+    legend = ("levels: " + " ".join(
+        f"{glyph}=L{idx + 1}" for idx, glyph in enumerate(_LEVEL_GLYPHS))
+        + " | digit = cellular tenths (. = none)")
+    return "\n".join(lines + [legend])
+
+
+def sparkline(values: Sequence[float], maximum: float = None) -> str:
+    """One-line bar chart of a non-negative series."""
+    if not values:
+        return ""
+    peak = maximum if maximum is not None else max(values)
+    if peak <= 0:
+        return " " * len(values)
+    glyphs = []
+    for value in values:
+        idx = int(round(min(value, peak) / peak * (len(_SPARK_GLYPHS) - 1)))
+        glyphs.append(_SPARK_GLYPHS[idx])
+    return "".join(glyphs)
+
+
+def throughput_plot(series: Sequence[Tuple[str, Sequence[float]]],
+                    interval: float, width: int = 100,
+                    unit_scale: float = 8.0 / 1e6,
+                    unit_label: str = "Mbps") -> str:
+    """Multi-row strip chart, one labelled sparkline per named series.
+
+    ``series`` is ``[(label, values_bytes_per_second), ...]``; values are
+    downsampled to ``width`` columns and scaled by ``unit_scale`` for the
+    peak annotation.
+    """
+    if width < 10:
+        raise ValueError(f"width too small: {width!r}")
+    rows = []
+    peak = max((max(values) if len(values) else 0.0)
+               for _, values in series)
+    for label, values in series:
+        values = list(values)
+        if len(values) > width:
+            bucket = len(values) / width
+            values = [max(values[int(i * bucket):
+                                 max(int(i * bucket) + 1,
+                                     int((i + 1) * bucket))])
+                      for i in range(width)]
+        line = sparkline(values, maximum=peak)
+        mean = (sum(values) / len(values)) if values else 0.0
+        rows.append(f"{label:>10} |{line}| "
+                    f"mean={mean * unit_scale:.2f}{unit_label}")
+    span = len(list(series[0][1])) * interval if series else 0.0
+    rows.append(f"{'':>10}  0s .. {span:.0f}s   "
+                f"(peak {peak * unit_scale:.2f}{unit_label})")
+    return "\n".join(rows)

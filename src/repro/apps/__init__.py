@@ -1,0 +1,15 @@
+"""Delay-tolerant applications on the MP-DASH scheduler (§8).
+
+The deadline-aware scheduler generalizes beyond video: any transfer that
+must complete *by* a time rather than *as soon as possible* can ride the
+preferred path and touch cellular only under deadline pressure.  The paper
+names music prefetching and turn-by-turn navigation; both are implemented
+here against the same :class:`~repro.core.socket_api.MpDashSocket` API the
+video adapter uses.
+"""
+
+from .music import MusicPrefetcher, PlaylistTrack
+from .navigation import NavigationPrefetcher, RouteTile
+
+__all__ = ["MusicPrefetcher", "NavigationPrefetcher", "PlaylistTrack",
+           "RouteTile"]

@@ -1,0 +1,154 @@
+"""Music-app prefetching over MP-DASH (§8).
+
+"For music apps using automated recommendation (e.g., Pandora Music),
+players do not need the next song until the playback of the current song is
+close to its end."  The prefetcher below models exactly that: while track
+*k* plays, track *k+1* downloads with a deadline equal to the remaining
+playback time of track *k* (shrunk by a safety margin), so the scheduler
+can keep the whole playlist off cellular whenever the preferred path is
+fast enough.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.socket_api import MpDashSocket
+from ..mptcp.connection import MptcpConnection, Transfer
+from ..net.simulator import Simulator
+
+
+@dataclass(frozen=True)
+class PlaylistTrack:
+    """One audio item: its encoded size and playback duration."""
+
+    title: str
+    size: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"track size must be positive: {self.size!r}")
+        if self.duration <= 0:
+            raise ValueError(
+                f"track duration must be positive: {self.duration!r}")
+
+
+@dataclass
+class TrackResult:
+    """Outcome of one prefetch."""
+
+    track: PlaylistTrack
+    started_at: float
+    finished_at: Optional[float] = None
+    needed_by: float = 0.0
+    bytes_per_path: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def on_time(self) -> bool:
+        return (self.finished_at is not None
+                and self.finished_at <= self.needed_by + 1e-6)
+
+    @property
+    def cellular_bytes(self) -> float:
+        return self.bytes_per_path.get("cellular", 0.0)
+
+
+class MusicPrefetcher:
+    """Plays a playlist, prefetching each next track under a deadline.
+
+    The first track downloads eagerly (the user pressed play — that is a
+    foreground transfer, MP-DASH stays off).  From then on, track *k+1*'s
+    prefetch starts as soon as track *k* starts playing, with deadline
+    equal to the remaining playback time times ``safety``.
+    """
+
+    def __init__(self, sim: Simulator, connection: MptcpConnection,
+                 socket: Optional[MpDashSocket],
+                 playlist: List[PlaylistTrack], safety: float = 0.9):
+        if not playlist:
+            raise ValueError("playlist cannot be empty")
+        if not 0 < safety <= 1:
+            raise ValueError(f"safety must be in (0, 1]: {safety!r}")
+        self.sim = sim
+        self.connection = connection
+        self.socket = socket
+        self.playlist = playlist
+        self.safety = safety
+        self.results: List[TrackResult] = []
+        self.stall_time = 0.0  # silence while waiting for a late track
+        self._playback_ends: Optional[float] = None
+        self.finished = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the session: fetch track 0 in the foreground."""
+        self._fetch(0, deadline=None)
+
+    def _fetch(self, index: int, deadline: Optional[float]) -> None:
+        track = self.playlist[index]
+        if self.socket is not None:
+            if deadline is not None:
+                self.socket.mp_dash_enable(track.size, deadline)
+            else:
+                self.socket.mp_dash_disable()
+        result = TrackResult(track=track, started_at=self.sim.now,
+                             needed_by=(self.sim.now + deadline
+                                        if deadline is not None
+                                        else self.sim.now))
+        self.results.append(result)
+        self.connection.start_transfer(
+            track.size, tag=track.title,
+            on_complete=lambda transfer, r=result, i=index:
+                self._downloaded(i, r, transfer))
+
+    def _downloaded(self, index: int, result: TrackResult,
+                    transfer: Transfer) -> None:
+        result.finished_at = self.sim.now
+        result.bytes_per_path = dict(transfer.per_path)
+        if index == 0:
+            self._begin_playback(0)
+
+    def _begin_playback(self, index: int) -> None:
+        track = self.playlist[index]
+        now = self.sim.now
+        self._playback_ends = now + track.duration
+        if index + 1 < len(self.playlist):
+            deadline = max(track.duration * self.safety, 1.0)
+            self._fetch(index + 1, deadline)
+        self.sim.schedule(track.duration, self._track_over, index)
+
+    def _track_over(self, index: int) -> None:
+        next_index = index + 1
+        if next_index >= len(self.playlist):
+            self.finished = True
+            return
+        result = self.results[next_index]
+        if result.finished_at is None:
+            # The next track is late: silence until it lands.
+            self.sim.schedule(0.2, self._wait_for, next_index, self.sim.now)
+            return
+        self._begin_playback(next_index)
+
+    def _wait_for(self, index: int, stall_started: float) -> None:
+        result = self.results[index]
+        if result.finished_at is None:
+            self.sim.schedule(0.2, self._wait_for, index, stall_started)
+            return
+        self.stall_time += self.sim.now - stall_started
+        self._begin_playback(index)
+
+    # ------------------------------------------------------------------
+    @property
+    def cellular_bytes(self) -> float:
+        return sum(r.cellular_bytes for r in self.results)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(sum(r.bytes_per_path.values()) for r in self.results)
+
+    def prefetches_on_time(self) -> int:
+        """Prefetched tracks (excluding the foreground first one) that
+        arrived before their deadline."""
+        return sum(1 for r in self.results[1:] if r.on_time)

@@ -1,0 +1,194 @@
+"""Command-line interface: run sessions and inspect them from a shell.
+
+The paper's analysis tool is a standalone binary; this module is its
+equivalent entry point, plus runners for the common experiments::
+
+    python -m repro stream --abr festive --mpdash --wifi 3.8 --lte 3.0
+    python -m repro compare --abr bba-c --wifi 2.2 --lte 1.2
+    python -m repro download --size-mb 5 --deadline 10
+    python -m repro locations
+    python -m repro videos
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional
+
+from .abr import abr_names
+from .analysis.report import session_report
+from .core.deadlines import DEADLINE_MODES, RATE_BASED
+from .experiments import (BASELINE, DURATION, FileDownloadConfig, RATE,
+                          SessionConfig, run_file_download, run_schemes,
+                          run_session)
+from .experiments.tables import format_table, pct
+from .workloads import VIDEO_LADDERS, field_study_locations, video_names
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MP-DASH reproduction: preference-aware multipath "
+                    "video streaming")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    stream = commands.add_parser(
+        "stream", help="run one streaming session and analyze it")
+    _add_network_args(stream)
+    stream.add_argument("--video", default="big_buck_bunny",
+                        choices=video_names())
+    stream.add_argument("--abr", default="festive", choices=abr_names())
+    stream.add_argument("--mpdash", action="store_true",
+                        help="enable the MP-DASH scheduler")
+    stream.add_argument("--deadline-mode", default=RATE_BASED,
+                        choices=list(DEADLINE_MODES))
+    stream.add_argument("--alpha", type=float, default=1.0)
+    stream.add_argument("--duration", type=float, default=300.0,
+                        help="video length to stream, seconds")
+    stream.add_argument("--visualize", action="store_true",
+                        help="print the Figure-8 chunk strip and "
+                             "throughput patterns")
+
+    compare = commands.add_parser(
+        "compare", help="baseline vs MP-DASH (duration & rate deadlines)")
+    _add_network_args(compare)
+    compare.add_argument("--video", default="big_buck_bunny",
+                         choices=video_names())
+    compare.add_argument("--abr", default="festive", choices=abr_names())
+    compare.add_argument("--duration", type=float, default=300.0)
+
+    download = commands.add_parser(
+        "download", help="one deadline-bounded file download")
+    _add_network_args(download)
+    download.add_argument("--size-mb", type=float, default=5.0)
+    download.add_argument("--deadline", type=float, default=10.0)
+    download.add_argument("--alpha", type=float, default=1.0)
+    download.add_argument("--no-mpdash", action="store_true")
+
+    commands.add_parser("locations",
+                        help="list the 33-location field-study catalog")
+    commands.add_parser("videos", help="list the Table-3 video ladders")
+    return parser
+
+
+def _add_network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--wifi", type=float, default=3.8,
+                        help="WiFi bandwidth, Mbps")
+    parser.add_argument("--lte", type=float, default=3.0,
+                        help="LTE bandwidth, Mbps")
+    parser.add_argument("--wifi-rtt", type=float, default=50.0,
+                        help="WiFi RTT, ms")
+    parser.add_argument("--lte-rtt", type=float, default=55.0,
+                        help="LTE RTT, ms")
+
+
+# ----------------------------------------------------------------------
+# Subcommands
+# ----------------------------------------------------------------------
+def cmd_stream(args: argparse.Namespace) -> int:
+    config = SessionConfig(
+        video=args.video, abr=args.abr, mpdash=args.mpdash,
+        deadline_mode=args.deadline_mode, alpha=args.alpha,
+        wifi_mbps=args.wifi, lte_mbps=args.lte,
+        wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
+        video_duration=args.duration)
+    result = run_session(config)
+    metrics = result.metrics
+    print(format_table(
+        ["metric", "value"],
+        [["finished", result.finished],
+         ["cellular MB", f"{metrics.cellular_bytes / 1e6:.2f}"],
+         ["cellular share", pct(metrics.cellular_fraction)],
+         ["radio energy J", f"{metrics.radio_energy:.1f}"],
+         ["playback bitrate Mbps", f"{metrics.mean_bitrate_mbps:.2f}"],
+         ["quality switches", metrics.quality_switches],
+         ["stalls", metrics.stall_count],
+         ["startup delay s", f"{metrics.startup_delay:.2f}"
+          if metrics.startup_delay is not None else "-"]],
+        title=f"{args.video} / {args.abr} "
+              f"({'MP-DASH ' + args.deadline_mode if args.mpdash else 'vanilla MPTCP'})"))
+    if args.visualize:
+        print()
+        print(session_report(result))
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    base = SessionConfig(
+        video=args.video, abr=args.abr, wifi_mbps=args.wifi,
+        lte_mbps=args.lte, wifi_rtt_ms=args.wifi_rtt,
+        lte_rtt_ms=args.lte_rtt, video_duration=args.duration)
+    comparison = run_schemes(base)
+    rows = []
+    for scheme in (BASELINE, DURATION, RATE):
+        metrics = comparison.results[scheme].metrics
+        rows.append([
+            scheme, f"{metrics.cellular_bytes / 1e6:.2f}",
+            f"{metrics.radio_energy:.1f}",
+            f"{metrics.mean_bitrate_mbps:.2f}", metrics.stall_count,
+            pct(comparison.cellular_savings(scheme))
+            if scheme != BASELINE else "-",
+            pct(comparison.cellular_energy_savings(scheme))
+            if scheme != BASELINE else "-"])
+    print(format_table(
+        ["scheme", "cell MB", "energy J", "bitrate", "stalls",
+         "cell saved", "LTE-energy saved"],
+        rows, title=f"{args.video} / {args.abr} @ "
+                    f"W{args.wifi}/L{args.lte} Mbps"))
+    return 0
+
+
+def cmd_download(args: argparse.Namespace) -> int:
+    result = run_file_download(FileDownloadConfig(
+        size=args.size_mb * 1e6, deadline=args.deadline,
+        mpdash=not args.no_mpdash, alpha=args.alpha,
+        wifi_mbps=args.wifi, lte_mbps=args.lte,
+        wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt))
+    print(format_table(
+        ["metric", "value"],
+        [["finished at s", f"{result.duration:.2f}"],
+         ["deadline met", not result.missed_deadline],
+         ["cellular MB", f"{result.cellular_bytes / 1e6:.2f}"],
+         ["cellular share", pct(result.cellular_fraction)],
+         ["radio energy J", f"{result.radio_energy:.1f}"]],
+        title=f"{args.size_mb:.0f}MB download, D={args.deadline:.0f}s "
+              f"({'vanilla' if args.no_mpdash else 'MP-DASH'})"))
+    return 0
+
+
+def cmd_locations(_args: argparse.Namespace) -> int:
+    rows = [[loc.name, loc.scenario, loc.wifi_mbps, loc.wifi_rtt_ms,
+             loc.lte_mbps, loc.lte_rtt_ms]
+            for loc in field_study_locations()]
+    print(format_table(
+        ["location", "scenario", "wifi Mbps", "wifi RTT ms", "lte Mbps",
+         "lte RTT ms"], rows,
+        title="Field-study catalog (33 locations, scenarios 64%/15%/21%)"))
+    return 0
+
+
+def cmd_videos(_args: argparse.Namespace) -> int:
+    rows = [[name] + list(ladder)
+            for name, ladder in sorted(VIDEO_LADDERS.items())]
+    print(format_table(
+        ["video", "L1", "L2", "L3", "L4", "L5"], rows,
+        title="Table 3: average encoding bitrates (Mbps)"))
+    return 0
+
+
+_COMMANDS = {
+    "stream": cmd_stream,
+    "compare": cmd_compare,
+    "download": cmd_download,
+    "locations": cmd_locations,
+    "videos": cmd_videos,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

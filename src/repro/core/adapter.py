@@ -1,0 +1,167 @@
+"""The MP-DASH video adapter (§5).
+
+A lightweight add-on that makes an off-the-shelf DASH algorithm
+multipath-friendly.  It sits between the rate-adaptation logic and the
+MP-DASH scheduler and does three things per chunk:
+
+1. **Informs the scheduler** of the chunk's size (read from Content-Length)
+   and its deadline, computed by the duration-based or rate-based scheme
+   and relaxed by *deadline extension* when the buffer is above Φ.
+2. **Guards robustness**: below the low-buffer threshold Ω (initial
+   buffering, blackout recovery) the scheduler stays disabled and MPTCP
+   runs vanilla with every path available.
+3. **Feeds the player** the transport's aggregate multipath throughput so
+   throughput-based algorithms don't under-estimate capacity while the
+   cellular path is administratively off.
+
+Φ and Ω depend on the algorithm category:
+
+* throughput-based (§5.2.1): Φ = 80% of buffer capacity; Ω = T − T′ with
+  T = 2 × buffer capacity (time to be consumed) and T′ the seconds of
+  lowest-bitrate content downloadable in T at the current estimate (time to
+  be supplied), floored at 40% of capacity.
+* buffer-based (§5.2.2): Φ = capacity − one chunk duration; the scheduler
+  is armed only once the player sits at the highest bitrate the network
+  sustains, and Ω = e_l + one chunk duration where e_l is the lowest buffer
+  level of the current encoding bitrate in BBA's rate map.
+* hybrid (§5.2.3): reuses the throughput-based rules, as the paper's MPC
+  sketch prescribes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..abr.base import BUFFER_BASED
+from ..dash.events import ChunkRecord
+from ..dash.player import DashPlayer, PlayerAddon
+from .deadlines import RATE_BASED, compute_deadline, extend_deadline
+from .socket_api import MpDashSocket
+
+
+class MpDashAdapter(PlayerAddon):
+    """Per-chunk glue between a DASH player and the MP-DASH scheduler."""
+
+    def __init__(self, socket: MpDashSocket,
+                 deadline_mode: str = RATE_BASED,
+                 extension_enabled: bool = True,
+                 phi_fraction: Optional[float] = None,
+                 omega_floor_fraction: float = 0.4,
+                 consumption_window_multiplier: float = 2.0):
+        """``phi_fraction`` overrides the category rule for Φ (as a fraction
+        of buffer capacity) — used by the ablation benches.  The other two
+        knobs parameterize the §5.2.1 Ω rule (defaults are the paper's)."""
+        self.socket = socket
+        self.deadline_mode = deadline_mode
+        self.extension_enabled = extension_enabled
+        self.phi_fraction = phi_fraction
+        self.omega_floor_fraction = omega_floor_fraction
+        self.consumption_window_multiplier = consumption_window_multiplier
+        self.armed_count = 0
+        self.skipped_count = 0
+
+    # ------------------------------------------------------------------
+    # PlayerAddon hooks
+    # ------------------------------------------------------------------
+    def throughput_override(self, player: DashPlayer) -> Optional[float]:
+        return self.socket.aggregate_throughput()
+
+    def on_chunk_request(self, player: DashPlayer, level: int,
+                         size: float) -> Optional[float]:
+        if not self._should_arm(player, level):
+            self.skipped_count += 1
+            # Clear any stale pending/active activation so it cannot bind
+            # to this (deliberately unarmed) chunk's transfer.
+            self.socket.mp_dash_disable()
+            return None
+        deadline = self._deadline(player, level, size)
+        self.socket.mp_dash_enable(size, deadline)
+        self.armed_count += 1
+        return deadline
+
+    def on_chunk_downloaded(self, player: DashPlayer,
+                            record: ChunkRecord) -> None:
+        """Nothing to do: the scheduler self-deactivates per chunk."""
+
+    # ------------------------------------------------------------------
+    # Deadline computation
+    # ------------------------------------------------------------------
+    def _deadline(self, player: DashPlayer, level: int, size: float) -> float:
+        nominal = player.manifest.level(level).bitrate
+        deadline = compute_deadline(self.deadline_mode, size,
+                                    player.manifest.chunk_duration, nominal)
+        if self.extension_enabled:
+            deadline = extend_deadline(deadline, player.buffer.level,
+                                       self.phi(player))
+        return deadline
+
+    def phi(self, player: DashPlayer) -> float:
+        """The deadline-extension threshold Φ, in buffer seconds."""
+        capacity = player.buffer.capacity
+        if self.phi_fraction is not None:
+            return self.phi_fraction * capacity
+        if player.abr.category == BUFFER_BASED:
+            return capacity - player.manifest.chunk_duration
+        return 0.8 * capacity
+
+    # ------------------------------------------------------------------
+    # The low-buffer guard Ω
+    # ------------------------------------------------------------------
+    def _should_arm(self, player: DashPlayer, level: int) -> bool:
+        if player.in_startup:
+            return False
+        if player.abr.category == BUFFER_BASED:
+            return self._buffer_based_guard(player, level)
+        return player.buffer.level >= self.omega_throughput_based(player)
+
+    def omega_throughput_based(self, player: DashPlayer) -> float:
+        """Ω for throughput-based (and hybrid) algorithms (§5.2.1)."""
+        capacity = player.buffer.capacity
+        window = self.consumption_window_multiplier * capacity
+        estimate = self.socket.aggregate_throughput()
+        if estimate is None:
+            supplied = 0.0
+        else:
+            lowest = player.manifest.bitrates()[0]
+            supplied = estimate * window / lowest
+        omega = max(window - supplied, 0.0)
+        return max(omega, self.omega_floor_fraction * capacity)
+
+    def _buffer_based_guard(self, player: DashPlayer, level: int) -> bool:
+        """§5.2.2: arm only at the highest sustainable bitrate, with the
+        buffer clear of the level's lower map boundary."""
+        estimate = self.socket.aggregate_throughput()
+        if estimate is None:
+            return False
+        bitrates = player.manifest.bitrates()
+        sustainable = 0
+        for index, bitrate in enumerate(bitrates):
+            if bitrate <= estimate:
+                sustainable = index
+        if level < sustainable:
+            return False
+        omega = self.omega_buffer_based(player, level)
+        return player.buffer.level >= omega
+
+    def omega_buffer_based(self, player: DashPlayer, level: int) -> float:
+        """Ω = e_l(level) + one chunk duration (§5.2.2).
+
+        Capped below the largest buffer a player can hold at request time
+        (capacity minus one chunk, less half a chunk of margin) so the
+        threshold stays attainable for the top level, whose band starts at
+        the cushion knee.
+        """
+        abr = player.abr
+        chunk_duration = player.manifest.chunk_duration
+        if hasattr(abr, "level_buffer_range"):
+            low, _high = abr.level_buffer_range(
+                level, player.buffer.capacity, player.manifest.bitrates())
+        else:
+            # Non-BBA buffer algorithm without a map: be conservative.
+            low = 0.5 * player.buffer.capacity
+        return min(low + chunk_duration,
+                   player.buffer.capacity - 1.5 * chunk_duration)
+
+    def __repr__(self) -> str:
+        return (f"<MpDashAdapter mode={self.deadline_mode} "
+                f"armed={self.armed_count} skipped={self.skipped_count}>")

@@ -1,0 +1,69 @@
+"""Chunk deadline computation (§5.1).
+
+A chunk's deadline is *not* set to the instant the playback would stall —
+missing that by even a little would hurt QoE.  Instead the deadline keeps
+the buffer occupancy from decreasing, under one of two schemes:
+
+* **duration-based** — ``D`` is the chunk's playout duration.  Downloading a
+  4-second chunk within 4 seconds returns exactly the buffer it consumes,
+  holding the buffer level steady chunk by chunk (short-term stability).
+* **rate-based** — ``D`` is the chunk size divided by the quality level's
+  nominal (average) encoding bitrate.  A 1 MB chunk at a 4 Mbps level gets
+  ``1·8/4 = 2`` seconds.  Over a whole video this also holds the buffer
+  steady, but per chunk it budgets less time to larger-than-average chunks —
+  which is why rate-based saves more cellular data on high-bitrate chunks
+  (Figure 8).
+
+On top of either scheme, **deadline extension** relaxes the deadline when
+the buffer is nearly full (above threshold Φ): a stall is then improbable,
+so every second of buffer above Φ is added to the window, giving Algorithm 1
+more room to avoid cellular.
+"""
+
+from __future__ import annotations
+
+DURATION_BASED = "duration"
+RATE_BASED = "rate"
+
+DEADLINE_MODES = (DURATION_BASED, RATE_BASED)
+
+
+def duration_based_deadline(chunk_duration: float) -> float:
+    """Deadline equal to the chunk's playout duration."""
+    if chunk_duration <= 0:
+        raise ValueError(f"chunk duration must be positive: {chunk_duration!r}")
+    return chunk_duration
+
+
+def rate_based_deadline(chunk_bytes: float,
+                        nominal_bitrate_bytes_per_s: float) -> float:
+    """Deadline equal to chunk size over the level's average bitrate."""
+    if chunk_bytes <= 0:
+        raise ValueError(f"chunk size must be positive: {chunk_bytes!r}")
+    if nominal_bitrate_bytes_per_s <= 0:
+        raise ValueError(
+            f"bitrate must be positive: {nominal_bitrate_bytes_per_s!r}")
+    return chunk_bytes / nominal_bitrate_bytes_per_s
+
+
+def compute_deadline(mode: str, chunk_bytes: float, chunk_duration: float,
+                     nominal_bitrate_bytes_per_s: float) -> float:
+    """Dispatch on the deadline mode."""
+    if mode == DURATION_BASED:
+        return duration_based_deadline(chunk_duration)
+    if mode == RATE_BASED:
+        return rate_based_deadline(chunk_bytes, nominal_bitrate_bytes_per_s)
+    raise ValueError(f"unknown deadline mode {mode!r} "
+                     f"(known: {DEADLINE_MODES})")
+
+
+def extend_deadline(deadline: float, buffer_level: float,
+                    phi: float) -> float:
+    """Apply deadline extension: add ``buffer_level - phi`` when above Φ."""
+    if deadline <= 0:
+        raise ValueError(f"deadline must be positive: {deadline!r}")
+    if phi < 0:
+        raise ValueError(f"phi cannot be negative: {phi!r}")
+    if buffer_level > phi:
+        return deadline + (buffer_level - phi)
+    return deadline

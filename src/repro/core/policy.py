@@ -1,0 +1,89 @@
+"""User-specified multipath preference policies.
+
+The preference is quantified by a unit-data cost per path (§4): "the cost
+could be data usage, energy consumption, or a combination of both".  Only
+the *ordering* matters to the online scheduler — data is fed from low-cost
+to high-cost interfaces — so a policy is an ordered ranking of interface
+names, with optional explicit costs for the generalized N-path variant.
+
+The two policies the paper's prototype ships — prefer WiFi over cellular and
+its symmetric opposite — are provided as constants.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..net.link import CELLULAR, WIFI, Path
+
+
+class Preference:
+    """An ordered interface preference (cheapest first)."""
+
+    def __init__(self, order: Sequence[str],
+                 costs: Optional[Dict[str, float]] = None):
+        if not order:
+            raise ValueError("preference order cannot be empty")
+        if len(set(order)) != len(order):
+            raise ValueError(f"duplicate interfaces in preference: {order}")
+        self.order: List[str] = list(order)
+        if costs is None:
+            # Default: rank index as cost, so ordering is preserved.
+            costs = {name: float(i) for i, name in enumerate(order)}
+        missing = set(order) - set(costs)
+        if missing:
+            raise ValueError(f"costs missing for interfaces: {sorted(missing)}")
+        sorted_by_cost = sorted(order, key=lambda n: (costs[n], order.index(n)))
+        if sorted_by_cost != self.order:
+            raise ValueError("costs must be non-decreasing in preference order")
+        self.costs = dict(costs)
+
+    @property
+    def primary(self) -> str:
+        """The preferred interface — set as MPTCP's primary interface."""
+        return self.order[0]
+
+    def secondary_names(self) -> List[str]:
+        """Everything except the primary (the on/off-managed paths)."""
+        return self.order[1:]
+
+    def cost_of(self, name: str) -> float:
+        try:
+            return self.costs[name]
+        except KeyError:
+            raise KeyError(f"interface {name!r} not in preference "
+                           f"{self.order}") from None
+
+    def rank(self, name: str) -> int:
+        try:
+            return self.order.index(name)
+        except ValueError:
+            raise KeyError(f"interface {name!r} not in preference "
+                           f"{self.order}") from None
+
+    def apply_costs(self, paths: Sequence[Path]) -> None:
+        """Stamp this policy's costs onto path objects."""
+        for path in paths:
+            path.cost = self.cost_of(path.name)
+
+    def sorted_paths(self, paths: Sequence[Path]) -> List[Path]:
+        """Paths ordered cheapest-first according to this preference."""
+        return sorted(paths, key=lambda p: self.rank(p.name))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Preference):
+            return NotImplemented
+        return self.order == other.order and self.costs == other.costs
+
+    def __repr__(self) -> str:
+        return f"<Preference {' < '.join(self.order)}>"
+
+
+def prefer_wifi() -> Preference:
+    """WiFi preferred over cellular (the common case: metered LTE)."""
+    return Preference([WIFI, CELLULAR], {WIFI: 0.0, CELLULAR: 1.0})
+
+
+def prefer_cellular() -> Preference:
+    """Cellular preferred over WiFi (e.g. while moving between APs)."""
+    return Preference([CELLULAR, WIFI], {CELLULAR: 0.0, WIFI: 1.0})

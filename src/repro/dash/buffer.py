@@ -1,0 +1,66 @@
+"""Playback buffer model.
+
+The buffer holds downloaded-but-unplayed video, measured in seconds of
+content.  It fills by whole chunks when downloads complete and drains
+continuously while playing.  Its occupancy is the signal everything in
+MP-DASH keys off: BBA's rate map, the Φ deadline-extension threshold, the
+Ω low-buffer disable threshold, and stall detection.
+"""
+
+from __future__ import annotations
+
+
+class PlaybackBuffer:
+    """Seconds-of-content buffer with a hard capacity."""
+
+    def __init__(self, capacity: float):
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive: {capacity!r}")
+        self.capacity = capacity
+        self._level = 0.0
+        #: Total seconds ever drained (i.e. played).
+        self.total_played = 0.0
+
+    @property
+    def level(self) -> float:
+        """Current occupancy in seconds of content."""
+        return self._level
+
+    @property
+    def free(self) -> float:
+        return max(0.0, self.capacity - self._level)
+
+    @property
+    def empty(self) -> bool:
+        return self._level <= 1e-9
+
+    def add(self, seconds: float) -> None:
+        """Add a downloaded chunk's duration.
+
+        A well-behaved player never requests a chunk that would not fit, so
+        exceeding capacity is a caller bug and raises.
+        """
+        if seconds <= 0:
+            raise ValueError(f"cannot add non-positive content: {seconds!r}")
+        if self._level + seconds > self.capacity + 1e-6:
+            raise ValueError(
+                f"buffer overflow: {self._level:.3f}+{seconds:.3f} "
+                f"> capacity {self.capacity:.3f}")
+        self._level = min(self.capacity, self._level + seconds)
+
+    def drain(self, seconds: float) -> float:
+        """Consume up to ``seconds`` of content; returns seconds actually
+        played (less when the buffer runs dry — a stall)."""
+        if seconds < 0:
+            raise ValueError(f"cannot drain negative time: {seconds!r}")
+        played = min(seconds, self._level)
+        self._level -= played
+        self.total_played += played
+        return played
+
+    def fits(self, seconds: float) -> bool:
+        """Whether a chunk of ``seconds`` can be added without overflow."""
+        return self._level + seconds <= self.capacity + 1e-9
+
+    def __repr__(self) -> str:
+        return (f"<PlaybackBuffer {self._level:.1f}/{self.capacity:.1f}s>")

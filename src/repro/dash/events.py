@@ -1,0 +1,124 @@
+"""Player event log and per-chunk records.
+
+The paper's analysis tool correlates a network packet trace with "a
+player's event logs" (§6).  This module is the player half of that input:
+typed events with timestamps, plus a structured per-chunk record carrying
+everything the analyzer and the Figure-8 visualization need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+# Event kinds.
+REQUEST = "request"
+DOWNLOADED = "downloaded"
+PLAY_START = "play_start"
+STALL_START = "stall_start"
+STALL_END = "stall_end"
+QUALITY_SWITCH = "quality_switch"
+PLAYBACK_END = "playback_end"
+MPDASH_ARMED = "mpdash_armed"
+MPDASH_SKIPPED = "mpdash_skipped"
+
+
+@dataclass(frozen=True)
+class PlayerEvent:
+    """One timestamped player event."""
+
+    time: float
+    kind: str
+    detail: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class ChunkRecord:
+    """Everything known about one downloaded chunk."""
+
+    index: int
+    level: int
+    size: float
+    duration: float
+    requested_at: float
+    completed_at: float
+    #: Player-observed throughput for this chunk (bytes/second).
+    throughput: float
+    #: Bytes carried per path name (from the transport).
+    bytes_per_path: Dict[str, float] = field(default_factory=dict)
+    #: Deadline window armed for this chunk; None when MP-DASH was off.
+    deadline: Optional[float] = None
+    #: Buffer occupancy when the chunk was requested.
+    buffer_at_request: float = 0.0
+
+    @property
+    def download_time(self) -> float:
+        return self.completed_at - self.requested_at
+
+    def fraction_on(self, path: str) -> float:
+        total = sum(self.bytes_per_path.values())
+        if total <= 0:
+            return 0.0
+        return self.bytes_per_path.get(path, 0.0) / total
+
+
+@dataclass(frozen=True)
+class StallRecord:
+    """One rebuffering interval."""
+
+    start: float
+    end: float
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class PlayerEventLog:
+    """Append-only event log with typed accessors."""
+
+    def __init__(self) -> None:
+        self.events: List[PlayerEvent] = []
+        self.chunks: List[ChunkRecord] = []
+        self.stalls: List[StallRecord] = []
+        self._open_stall: Optional[float] = None
+
+    def record(self, time: float, kind: str, **detail: float) -> None:
+        self.events.append(PlayerEvent(time, kind, detail))
+        if kind == STALL_START:
+            self._open_stall = time
+        elif kind == STALL_END:
+            if self._open_stall is None:
+                raise ValueError("stall_end without stall_start")
+            self.stalls.append(StallRecord(self._open_stall, time))
+            self._open_stall = None
+
+    def record_chunk(self, record: ChunkRecord) -> None:
+        self.chunks.append(record)
+
+    def close(self, time: float) -> None:
+        """Close any open stall at end of session."""
+        if self._open_stall is not None:
+            self.stalls.append(StallRecord(self._open_stall, time))
+            self._open_stall = None
+
+    # ------------------------------------------------------------------
+    def of_kind(self, kind: str) -> List[PlayerEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def stall_count(self) -> int:
+        return len(self.stalls)
+
+    @property
+    def total_stall_time(self) -> float:
+        return sum(s.duration for s in self.stalls)
+
+    def quality_switches(self) -> int:
+        """Number of level changes between consecutive chunks."""
+        return sum(1 for a, b in zip(self.chunks, self.chunks[1:])
+                   if a.level != b.level)
+
+    def __repr__(self) -> str:
+        return (f"<PlayerEventLog events={len(self.events)} "
+                f"chunks={len(self.chunks)} stalls={len(self.stalls)}>")

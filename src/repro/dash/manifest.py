@@ -1,0 +1,79 @@
+"""The DASH manifest (MPD).
+
+A manifest describes the encoding ladder and chunk timeline of a video.  As
+the paper notes (§5.1), chunk *sizes* are not a mandatory MPD field — in
+practice MP-DASH reads them from the Content-Length header of each HTTP
+response.  The manifest therefore carries sizes only when
+``sizes_included`` is set (the "chunk size should be mandatory" position of
+Yin et al. that the paper endorses); otherwise players learn a chunk's size
+at request time from the server's response metadata.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .media import QualityLevel, VideoAsset
+
+
+@dataclass(frozen=True)
+class Representation:
+    """One encoding of the video (a ladder rung) as advertised in the MPD."""
+
+    level: QualityLevel
+    #: URL template for this representation's chunks.
+    url_template: str
+
+
+class Manifest:
+    """An MPD-like description of one video asset."""
+
+    def __init__(self, asset: VideoAsset, sizes_included: bool = False):
+        self.video_name = asset.name
+        self.chunk_duration = asset.chunk_duration
+        self.num_chunks = asset.num_chunks
+        self.representations: List[Representation] = [
+            Representation(level,
+                           f"/{asset.name}/level{level.index}/chunk$Number$")
+            for level in asset.levels
+        ]
+        self.sizes_included = sizes_included
+        self._sizes: Optional[List[List[float]]] = None
+        if sizes_included:
+            self._sizes = [[asset.chunk_size(lv.index, i)
+                            for i in range(asset.num_chunks)]
+                           for lv in asset.levels]
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.representations)
+
+    def bitrates(self) -> List[float]:
+        """Nominal bitrates (bytes/second), lowest first."""
+        return [rep.level.bitrate for rep in self.representations]
+
+    def level(self, index: int) -> QualityLevel:
+        if not 0 <= index < self.num_levels:
+            raise IndexError(f"level {index} out of range "
+                             f"(0..{self.num_levels - 1})")
+        return self.representations[index].level
+
+    def chunk_url(self, level: int, index: int) -> str:
+        if not 0 <= index < self.num_chunks:
+            raise IndexError(f"chunk {index} out of range "
+                             f"(0..{self.num_chunks - 1})")
+        template = self.representations[level].url_template
+        return template.replace("$Number$", str(index))
+
+    def chunk_size(self, level: int, index: int) -> float:
+        """Chunk size from the manifest; only if sizes were included."""
+        if self._sizes is None:
+            raise LookupError(
+                "manifest does not carry chunk sizes; read Content-Length "
+                "from the HTTP response instead")
+        return self._sizes[level][index]
+
+    def __repr__(self) -> str:
+        return (f"<Manifest {self.video_name!r} levels={self.num_levels} "
+                f"chunks={self.num_chunks} sizes={self.sizes_included}>")

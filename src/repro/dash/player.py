@@ -1,0 +1,252 @@
+"""The DASH video player.
+
+Drives the whole client side: asks the ABR algorithm for each chunk's
+quality level, issues HTTP GETs, fills the playback buffer, drains it while
+playing, and records the event log the analysis tool consumes.
+
+The player knows nothing about multipath — MPTCP is transparent to it, as
+in reality.  MP-DASH slots in through the :class:`PlayerAddon` hook (the
+video adapter of §5): the addon may inject a transport-level throughput
+override before each rate decision and arm the deadline scheduler once the
+chunk's Content-Length is known.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+from ..net.simulator import Simulator
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
+    from ..abr.base import AbrAlgorithm, AbrContext
+from .events import (DOWNLOADED, MPDASH_ARMED, MPDASH_SKIPPED, PLAY_START,
+                     PLAYBACK_END, QUALITY_SWITCH, REQUEST, STALL_END,
+                     STALL_START, ChunkRecord, PlayerEventLog)
+from .http import HttpClient, HttpResponse
+from .manifest import Manifest
+
+
+class PlayerAddon:
+    """Hook points the MP-DASH video adapter implements.
+
+    The default implementations are no-ops, so a player without MP-DASH is
+    exactly a vanilla DASH player over vanilla MPTCP.
+    """
+
+    def throughput_override(self, player: "DashPlayer") -> Optional[float]:
+        """Transport-level throughput to feed the ABR, or None."""
+        return None
+
+    def on_chunk_request(self, player: "DashPlayer", level: int,
+                         size: float) -> Optional[float]:
+        """Called with the resolved Content-Length before the body transfer.
+
+        Returns the armed deadline window in seconds, or None when MP-DASH
+        stays disabled for this chunk.
+        """
+        return None
+
+    def on_chunk_downloaded(self, player: "DashPlayer",
+                            record: ChunkRecord) -> None:
+        """Called after each chunk lands."""
+
+
+class DashPlayer:
+    """An adaptive-streaming client over one HTTP connection."""
+
+    def __init__(self, sim: Simulator, client: HttpClient,
+                 manifest: Manifest, abr: AbrAlgorithm,
+                 addon: Optional[PlayerAddon] = None,
+                 buffer_capacity: float = 40.0,
+                 startup_threshold: Optional[float] = None,
+                 resume_threshold: Optional[float] = None,
+                 tick_interval: float = 0.1):
+        from .buffer import PlaybackBuffer  # local to avoid cycle in docs
+
+        if buffer_capacity < 2 * manifest.chunk_duration:
+            raise ValueError(
+                f"buffer capacity {buffer_capacity}s too small for "
+                f"{manifest.chunk_duration}s chunks")
+        self.sim = sim
+        self.client = client
+        self.manifest = manifest
+        self.abr = abr
+        self.addon = addon if addon is not None else PlayerAddon()
+        self.buffer = PlaybackBuffer(buffer_capacity)
+        default_threshold = min(2 * manifest.chunk_duration,
+                                buffer_capacity / 2)
+        self.startup_threshold = (startup_threshold if startup_threshold
+                                  is not None else default_threshold)
+        self.resume_threshold = (resume_threshold if resume_threshold
+                                 is not None else default_threshold)
+        self.tick_interval = tick_interval
+        self.log = PlayerEventLog()
+        self.buffer_samples: List[Tuple[float, float]] = []
+
+        self._next_index = 0
+        self._current_level: Optional[int] = None
+        self._outstanding = False
+        self._playing = False
+        self._stalled = False
+        self._downloads_done = False
+        self.finished = False
+        self._ticker = None
+
+    # ------------------------------------------------------------------
+    # Session control
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin the session: request chunk 0 and start the playout clock."""
+        if self._ticker is not None:
+            raise RuntimeError("player already started")
+        self._ticker = self.sim.call_every(self.tick_interval, self._on_tick)
+        self._maybe_request()
+
+    @property
+    def in_startup(self) -> bool:
+        return not self._playing
+
+    @property
+    def current_level(self) -> Optional[int]:
+        return self._current_level
+
+    @property
+    def next_chunk_index(self) -> int:
+        return self._next_index
+
+    # ------------------------------------------------------------------
+    # Chunk requests
+    # ------------------------------------------------------------------
+    def _maybe_request(self) -> None:
+        if (self._outstanding or self._downloads_done or self.finished
+                or self._next_index >= self.manifest.num_chunks):
+            return
+        if not self.buffer.fits(self.manifest.chunk_duration):
+            return  # wait for playback to drain; the tick loop re-checks
+        level = self._choose_level()
+        index = self._next_index
+        self._outstanding = True
+        url = self.manifest.chunk_url(level, index)
+        requested_at = self.sim.now
+        buffer_at_request = self.buffer.level
+        self.log.record(requested_at, REQUEST, index=index, level=level)
+
+        deadline_holder = {}
+
+        def before_transfer(response: HttpResponse) -> None:
+            size = float(response.content_length)
+            deadline = self.addon.on_chunk_request(self, level, size)
+            deadline_holder["deadline"] = deadline
+            kind = MPDASH_ARMED if deadline is not None else MPDASH_SKIPPED
+            self.log.record(self.sim.now, kind, index=index,
+                            deadline=deadline if deadline is not None else -1.0)
+
+        def on_complete(response: HttpResponse) -> None:
+            if not response.ok:
+                raise RuntimeError(f"chunk request failed: {url}")
+            self._on_chunk_done(response, index, level, requested_at,
+                                buffer_at_request,
+                                deadline_holder.get("deadline"))
+
+        self.client.get(url, on_complete, before_transfer)
+
+    def _choose_level(self) -> int:
+        if self._next_index == 0:
+            level = self.abr.initial_level(self.manifest)
+        else:
+            ctx = self._make_context()
+            level = self.abr.choose_level(ctx)
+        if not 0 <= level < self.manifest.num_levels:
+            raise ValueError(
+                f"ABR {self.abr.name!r} chose invalid level {level}")
+        return level
+
+    def _make_context(self) -> "AbrContext":
+        from ..abr.base import AbrContext
+
+        last = self.log.chunks[-1] if self.log.chunks else None
+        return AbrContext(
+            manifest=self.manifest,
+            buffer_level=self.buffer.level,
+            buffer_capacity=self.buffer.capacity,
+            next_chunk_index=self._next_index,
+            current_level=self._current_level,
+            measured_throughput=last.throughput if last else None,
+            override_throughput=self.addon.throughput_override(self),
+            history=self.log.chunks,
+            in_startup=self.in_startup,
+        )
+
+    def _on_chunk_done(self, response: HttpResponse, index: int, level: int,
+                       requested_at: float, buffer_at_request: float,
+                       deadline: Optional[float]) -> None:
+        now = self.sim.now
+        transfer = response.transfer
+        elapsed = max(now - requested_at, 1e-9)
+        record = ChunkRecord(
+            index=index, level=level, size=float(response.content_length),
+            duration=self.manifest.chunk_duration,
+            requested_at=requested_at, completed_at=now,
+            throughput=float(response.content_length) / elapsed,
+            bytes_per_path=dict(transfer.per_path) if transfer else {},
+            deadline=deadline, buffer_at_request=buffer_at_request)
+        if self._current_level is not None and level != self._current_level:
+            self.log.record(now, QUALITY_SWITCH,
+                            from_level=self._current_level, to_level=level)
+        self._current_level = level
+        self.log.record(now, DOWNLOADED, index=index, level=level,
+                        size=record.size)
+        self.log.record_chunk(record)
+        self.buffer.add(self.manifest.chunk_duration)
+        self.abr.on_chunk_downloaded(record)
+        self.addon.on_chunk_downloaded(self, record)
+
+        self._outstanding = False
+        self._next_index = index + 1
+        if self._next_index >= self.manifest.num_chunks:
+            self._downloads_done = True
+        if not self._playing and self.buffer.level >= self.startup_threshold:
+            self._begin_playback()
+        if self._downloads_done and not self._playing:
+            # Very short videos: everything buffered before startup fired.
+            self._begin_playback()
+        self._maybe_request()
+
+    def _begin_playback(self) -> None:
+        self._playing = True
+        self.log.record(self.sim.now, PLAY_START)
+
+    # ------------------------------------------------------------------
+    # Playout clock
+    # ------------------------------------------------------------------
+    def _on_tick(self) -> None:
+        now = self.sim.now
+        self.buffer_samples.append((now, self.buffer.level))
+        if self.finished:
+            return
+        if self._playing and not self._stalled:
+            played = self.buffer.drain(self.tick_interval)
+            if self.buffer.empty:
+                if self._downloads_done:
+                    self._end_playback()
+                elif played < self.tick_interval - 1e-9:
+                    self._stalled = True
+                    self.log.record(now, STALL_START)
+        elif self._stalled:
+            if (self.buffer.level >= self.resume_threshold
+                    or (self._downloads_done and self.buffer.level > 0)):
+                self._stalled = False
+                self.log.record(now, STALL_END)
+        self._maybe_request()
+
+    def _end_playback(self) -> None:
+        self.finished = True
+        self.log.record(self.sim.now, PLAYBACK_END)
+        self.log.close(self.sim.now)
+        if self._ticker is not None:
+            self._ticker.stop()
+
+    def __repr__(self) -> str:
+        return (f"<DashPlayer video={self.manifest.video_name!r} "
+                f"abr={self.abr.name} chunk={self._next_index}/"
+                f"{self.manifest.num_chunks} buffer={self.buffer.level:.1f}s>")

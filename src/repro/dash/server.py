@@ -1,0 +1,66 @@
+"""The DASH video server.
+
+The paper's testbed runs an unmodified Apache serving static chunk files —
+all the intelligence lives on the client.  Accordingly the server here is a
+static resource catalog: it hosts video assets, serves their manifests, and
+resolves chunk URLs to byte sizes (which become Content-Length).  It has no
+MP-DASH logic; the server-side enforcement function of the scheduler lives
+in the MPTCP layer (``repro.mptcp``), keeping the server application
+untouched, as §8 emphasizes for deployability.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from .manifest import Manifest
+from .media import VideoAsset
+
+_CHUNK_URL = re.compile(r"^/(?P<video>[^/]+)/level(?P<level>\d+)"
+                        r"/chunk(?P<index>\d+)$")
+
+
+class DashServer:
+    """Static chunk store resolving request paths to body sizes."""
+
+    def __init__(self) -> None:
+        self._assets: Dict[str, VideoAsset] = {}
+
+    def host(self, asset: VideoAsset) -> None:
+        """Publish a video asset."""
+        if asset.name in self._assets:
+            raise ValueError(f"asset {asset.name!r} already hosted")
+        self._assets[asset.name] = asset
+
+    def manifest(self, video_name: str,
+                 sizes_included: bool = False) -> Manifest:
+        """The MPD for a hosted video."""
+        return Manifest(self._asset(video_name), sizes_included)
+
+    def resolve(self, path: str) -> Optional[float]:
+        """Map a chunk URL to its size in bytes; None if not found."""
+        match = _CHUNK_URL.match(path)
+        if match is None:
+            return None
+        asset = self._assets.get(match.group("video"))
+        if asset is None:
+            return None
+        level = int(match.group("level"))
+        index = int(match.group("index"))
+        if level >= asset.num_levels or index >= asset.num_chunks:
+            return None
+        return asset.chunk_size(level, index)
+
+    def hosted(self) -> list:
+        return sorted(self._assets)
+
+    def _asset(self, name: str) -> VideoAsset:
+        try:
+            return self._assets[name]
+        except KeyError:
+            raise KeyError(f"video {name!r} not hosted "
+                           f"(hosted: {self.hosted()})") from None
+
+    def __repr__(self) -> str:
+        return f"<DashServer assets={self.hosted()}>"

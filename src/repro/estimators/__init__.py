@@ -1,0 +1,8 @@
+"""Throughput estimators: Holt-Winters (the paper's choice), EWMA, harmonic."""
+
+from .base import ThroughputEstimator
+from .ewma import Ewma
+from .harmonic import HarmonicMean
+from .holt_winters import HoltWinters
+
+__all__ = ["Ewma", "HarmonicMean", "HoltWinters", "ThroughputEstimator"]

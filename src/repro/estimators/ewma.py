@@ -1,0 +1,40 @@
+"""Exponentially weighted moving average estimator.
+
+The baseline the paper compares Holt-Winters against: a single smoothing
+constant, no trend term, so it lags during sustained throughput drops —
+which is exactly when Algorithm 1 most needs accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .base import ThroughputEstimator
+
+
+class Ewma(ThroughputEstimator):
+    """Classic EWMA: ``estimate = alpha * y + (1 - alpha) * estimate``."""
+
+    def __init__(self, alpha: float = 0.25):
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1]: {alpha!r}")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def update(self, observation: float) -> None:
+        if observation < 0:
+            raise ValueError(f"throughput cannot be negative: {observation!r}")
+        if self._value is None:
+            self._value = observation
+        else:
+            self._value = (self.alpha * observation
+                           + (1 - self.alpha) * self._value)
+
+    def predict(self) -> Optional[float]:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def __repr__(self) -> str:
+        return f"<Ewma value={self._value}>"

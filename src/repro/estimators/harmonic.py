@@ -1,0 +1,47 @@
+"""Harmonic mean estimator over a sliding window.
+
+FESTIVE estimates future throughput as the harmonic mean of the last few
+chunks' download throughputs.  The harmonic mean discounts outlier spikes
+(a single fast chunk cannot inflate the estimate much), which gives the
+algorithm its robustness to transient bursts.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from .base import ThroughputEstimator
+
+
+class HarmonicMean(ThroughputEstimator):
+    """Harmonic mean of the last ``window`` observations."""
+
+    def __init__(self, window: int = 5):
+        if window < 1:
+            raise ValueError(f"window must be at least 1: {window!r}")
+        self.window = window
+        self._samples: deque = deque(maxlen=window)
+
+    def update(self, observation: float) -> None:
+        if observation < 0:
+            raise ValueError(f"throughput cannot be negative: {observation!r}")
+        # A zero sample would make the harmonic mean zero forever within the
+        # window; clamp to a tiny positive rate instead (a stalled chunk
+        # still conveys "very slow", not "mathematically undefined").
+        self._samples.append(max(observation, 1e-6))
+
+    def predict(self) -> Optional[float]:
+        if not self._samples:
+            return None
+        return len(self._samples) / sum(1.0 / s for s in self._samples)
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    def __repr__(self) -> str:
+        return f"<HarmonicMean n={len(self._samples)}/{self.window}>"

@@ -1,0 +1,15 @@
+"""Experiment harness: configs, runners, scheme comparisons, tables."""
+
+from .compare import SchemeComparison, run_schemes
+from .configs import (BASELINE, DURATION, FileDownloadConfig, RATE, SCHEMES,
+                      SessionConfig)
+from .runner import (FileDownloadResult, SessionResult, run_file_download,
+                     run_session)
+from .tables import format_table, joules, mb, mbps_str, pct
+
+__all__ = [
+    "BASELINE", "DURATION", "FileDownloadConfig", "FileDownloadResult",
+    "RATE", "SCHEMES", "SchemeComparison", "SessionConfig", "SessionResult",
+    "format_table", "joules", "mb", "mbps_str", "pct", "run_file_download",
+    "run_schemes", "run_session",
+]

@@ -1,0 +1,67 @@
+"""Scheme comparisons: baseline vs MP-DASH (duration / rate deadlines).
+
+Every evaluation figure compares the same session under vanilla MPTCP and
+under MP-DASH with the two deadline settings.  :func:`run_schemes` executes
+that trio (or any subset) from one base config, and
+:class:`SchemeComparison` exposes the savings the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Optional
+
+from ..analysis.metrics import bitrate_reduction, savings
+from .configs import BASELINE, SCHEMES, SessionConfig
+from .runner import SessionResult, run_session
+
+
+@dataclass
+class SchemeComparison:
+    """Results of one workload under several schemes."""
+
+    results: Dict[str, SessionResult]
+
+    @property
+    def baseline(self) -> SessionResult:
+        try:
+            return self.results[BASELINE]
+        except KeyError:
+            raise KeyError("comparison has no baseline scheme") from None
+
+    def cellular_savings(self, scheme: str) -> float:
+        """Fraction of baseline cellular bytes saved by ``scheme``."""
+        return savings(self.baseline.metrics.cellular_bytes,
+                       self.results[scheme].metrics.cellular_bytes)
+
+    def energy_savings(self, scheme: str) -> float:
+        """Fraction of baseline radio energy (both radios) saved."""
+        return savings(self.baseline.metrics.radio_energy,
+                       self.results[scheme].metrics.radio_energy)
+
+    def cellular_energy_savings(self, scheme: str) -> float:
+        """Fraction of baseline *cellular-radio* energy saved.
+
+        Reported alongside total radio savings because MP-DASH shifts bytes
+        onto WiFi, whose longer busy time partially offsets the LTE savings
+        in the total; the cellular radio itself always benefits.
+        """
+        return savings(self.baseline.metrics.cellular_energy,
+                       self.results[scheme].metrics.cellular_energy)
+
+    def bitrate_reduction(self, scheme: str) -> float:
+        """Playback bitrate loss vs baseline (negative = gain)."""
+        return bitrate_reduction(self.baseline.metrics,
+                                 self.results[scheme].metrics)
+
+    def stalls(self, scheme: str) -> int:
+        return self.results[scheme].metrics.stall_count
+
+
+def run_schemes(base: SessionConfig,
+                schemes: Optional[Iterable[str]] = None) -> SchemeComparison:
+    """Run ``base`` under each scheme (default: baseline, duration, rate)."""
+    chosen = tuple(schemes) if schemes is not None else SCHEMES
+    results = {scheme: run_session(base.with_scheme(scheme))
+               for scheme in chosen}
+    return SchemeComparison(results)

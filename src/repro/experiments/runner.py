@@ -1,0 +1,200 @@
+"""End-to-end experiment runners.
+
+:func:`run_session` executes one adaptive-streaming session described by a
+:class:`~repro.experiments.configs.SessionConfig` and returns a
+:class:`SessionResult` bundling the metrics, the analyzer, and the raw
+logs.  :func:`run_file_download` executes one deadline-bounded file
+transfer (the §7.2 scheduler evaluation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..abr import make_abr
+from ..analysis.analyzer import MultipathVideoAnalyzer
+from ..analysis.metrics import SessionMetrics
+from ..core.adapter import MpDashAdapter
+from ..core.policy import prefer_wifi
+from ..core.socket_api import MpDashSocket
+from ..dash.http import HttpClient
+from ..dash.player import DashPlayer
+from ..dash.server import DashServer
+from ..energy.devices import DEVICES
+from ..energy.model import EnergyBreakdown, session_energy
+from ..mptcp.connection import MptcpConnection
+from ..net.link import cellular_path, wifi_path
+from ..net.simulator import Simulator
+from ..workloads.videos import video_asset
+from .configs import FileDownloadConfig, SessionConfig
+
+
+@dataclass
+class SessionResult:
+    """Everything produced by one streaming session."""
+
+    config: SessionConfig
+    metrics: SessionMetrics
+    analyzer: MultipathVideoAnalyzer
+    finished: bool
+    session_duration: float
+    connection: MptcpConnection
+    player: DashPlayer
+    socket: Optional[MpDashSocket] = None
+    adapter: Optional[MpDashAdapter] = None
+
+    @property
+    def scheduler_stats(self) -> Dict[str, int]:
+        if self.socket is None:
+            return {}
+        scheduler = self.socket.scheduler
+        return {
+            "activations": scheduler.activations,
+            "deadline_misses": scheduler.deadline_misses,
+            "enable_events": scheduler.enable_events,
+            "disable_events": scheduler.disable_events,
+        }
+
+
+def _build_paths(config) -> list:
+    paths = []
+    if config.wifi_trace is not None:
+        paths.append(wifi_path(trace=config.wifi_trace,
+                               rtt_ms=config.wifi_rtt_ms))
+    else:
+        paths.append(wifi_path(bandwidth_mbps=config.wifi_mbps,
+                               rtt_ms=config.wifi_rtt_ms))
+    wifi_only = getattr(config, "wifi_only", False)
+    if not wifi_only:
+        if config.lte_trace is not None:
+            lte = cellular_path(trace=config.lte_trace,
+                                rtt_ms=config.lte_rtt_ms)
+        else:
+            lte = cellular_path(bandwidth_mbps=config.lte_mbps,
+                                rtt_ms=config.lte_rtt_ms)
+        throttle = getattr(config, "lte_throttle", None)
+        if throttle is not None:
+            lte.throttle = throttle
+        paths.append(lte)
+    return paths
+
+
+def run_session(config: SessionConfig) -> SessionResult:
+    """Simulate one streaming session to completion (or the time cap)."""
+    sim = Simulator()
+    paths = _build_paths(config)
+    connection = MptcpConnection(
+        sim, paths, scheduler=config.mptcp_scheduler,
+        tick_interval=config.tick_interval,
+        signaling_delay=config.signaling_delay,
+        subflow_reestablish=config.subflow_reestablish)
+
+    server = DashServer()
+    asset = video_asset(config.video, chunk_duration=config.chunk_duration,
+                        duration=config.video_duration)
+    server.host(asset)
+    manifest = server.manifest(asset.name)
+    client = HttpClient(connection, server.resolve)
+
+    abr = make_abr(config.abr, **config.abr_kwargs)
+    socket = None
+    adapter = None
+    if config.mpdash and not config.wifi_only:
+        socket = MpDashSocket(connection, prefer_wifi(), alpha=config.alpha)
+        adapter = MpDashAdapter(socket,
+                                deadline_mode=config.deadline_mode,
+                                extension_enabled=config.extension_enabled,
+                                phi_fraction=config.phi_fraction)
+
+    player = DashPlayer(sim, client, manifest, abr, addon=adapter,
+                        buffer_capacity=config.buffer_capacity)
+    player.start()
+
+    cap = config.sim_deadline
+    while not player.finished and sim.now < cap:
+        sim.run(until=min(sim.now + 5.0, cap))
+    connection.close()
+    if not player.finished:
+        player.log.close(sim.now)
+    session_duration = sim.now
+
+    device = DEVICES[config.device]
+    energy = session_energy(connection.activity, device, session_duration)
+    analyzer = MultipathVideoAnalyzer(connection.activity, player.log,
+                                      session_duration, device)
+    metrics = analyzer.metrics(config.steady_state_fraction)
+    return SessionResult(config=config, metrics=metrics, analyzer=analyzer,
+                         finished=player.finished,
+                         session_duration=session_duration,
+                         connection=connection, player=player,
+                         socket=socket, adapter=adapter)
+
+
+@dataclass
+class FileDownloadResult:
+    """Outcome of one deadline-bounded file transfer."""
+
+    config: FileDownloadConfig
+    duration: float
+    bytes_per_path: Dict[str, float]
+    energy: Dict[str, EnergyBreakdown]
+    missed_deadline: bool
+
+    @property
+    def cellular_bytes(self) -> float:
+        return self.bytes_per_path.get("cellular", 0.0)
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(self.bytes_per_path.values())
+
+    @property
+    def cellular_fraction(self) -> float:
+        total = self.total_bytes
+        return self.cellular_bytes / total if total > 0 else 0.0
+
+    @property
+    def radio_energy(self) -> float:
+        return self.energy["total"].total
+
+
+def run_file_download(config: FileDownloadConfig) -> FileDownloadResult:
+    """Download ``size`` bytes under a deadline, with or without MP-DASH."""
+    sim = Simulator()
+    paths = _build_paths(config)
+    connection = MptcpConnection(
+        sim, paths, scheduler=config.mptcp_scheduler,
+        tick_interval=config.tick_interval,
+        signaling_delay=config.signaling_delay,
+        subflow_reestablish=config.subflow_reestablish)
+
+    socket = None
+    if config.mpdash:
+        socket = MpDashSocket(connection, prefer_wifi(), alpha=config.alpha)
+        socket.mp_dash_enable(config.size, config.deadline)
+
+    done = {"finished_at": None}
+
+    def on_complete(_transfer) -> None:
+        done["finished_at"] = sim.now
+
+    connection.start_transfer(config.size, tag="file", on_complete=on_complete)
+    cap = config.deadline * 10 + 60.0
+    while done["finished_at"] is None and sim.now < cap:
+        sim.run(until=min(sim.now + 1.0, cap))
+    connection.close()
+    if done["finished_at"] is None:
+        raise RuntimeError(
+            f"file download did not finish within {cap:.0f}s of simulated "
+            f"time — paths too slow for size {config.size}")
+    duration = done["finished_at"]
+
+    # Account energy over the transfer window plus one LTE tail.
+    device = DEVICES[config.device]
+    horizon = duration + device.lte.tail_time
+    energy = session_energy(connection.activity, device, horizon)
+    bytes_per_path = {sf.name: sf.total_bytes for sf in connection.subflows}
+    return FileDownloadResult(
+        config=config, duration=duration, bytes_per_path=bytes_per_path,
+        energy=energy, missed_deadline=duration > config.deadline)

@@ -1,0 +1,59 @@
+"""Plain-text table formatting for the benchmark harness.
+
+Every bench prints the same rows/series the paper's table or figure
+reports; these helpers keep the output aligned and the units explicit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Fixed-width table with right-aligned numeric columns."""
+    if not headers:
+        raise ValueError("a table needs headers")
+    text_rows: List[List[str]] = [[_cell(v) for v in row] for row in rows]
+    for row in text_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row width {len(row)} != header width {len(headers)}")
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def pct(fraction: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{fraction * 100:.{digits}f}%"
+
+
+def mb(num_bytes: float, digits: int = 2) -> str:
+    """Format bytes as megabytes."""
+    return f"{num_bytes / 1e6:.{digits}f}MB"
+
+
+def joules(value: float, digits: int = 1) -> str:
+    return f"{value:.{digits}f}J"
+
+
+def mbps_str(bytes_per_second: float, digits: int = 2) -> str:
+    return f"{bytes_per_second * 8 / 1e6:.{digits}f}Mbps"

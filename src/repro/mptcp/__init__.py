@@ -1,0 +1,19 @@
+"""MPTCP transport: subflows, packet schedulers, DSS signaling, connection."""
+
+from .activity import ActivityLog
+from .connection import MptcpConnection, PathController, Transfer
+from .options import SignalChannel
+from .proxy import SplittingProxy
+from .packet_level import (PacketDownloadResult, PacketLevelDownload,
+                           run_packet_download)
+from .schedulers import (MinRttScheduler, MptcpScheduler, RoundRobinScheduler,
+                         make_scheduler, scheduler_names)
+from .subflow import Subflow
+
+__all__ = [
+    "ActivityLog", "MinRttScheduler", "MptcpConnection", "MptcpScheduler",
+    "PacketDownloadResult", "PacketLevelDownload", "PathController",
+    "RoundRobinScheduler", "SignalChannel", "Subflow", "Transfer",
+    "SplittingProxy", "make_scheduler", "run_packet_download",
+    "scheduler_names",
+]

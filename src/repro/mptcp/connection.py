@@ -1,0 +1,305 @@
+"""The MPTCP connection: subflow management, transfers, and the control hook.
+
+This module plays the role of the paper's patched MPTCP stack.  A
+:class:`MptcpConnection` owns one :class:`~repro.mptcp.subflow.Subflow` per
+path, distributes an active transfer's bytes across them each tick using the
+configured packet scheduler, and exposes the two cross-layer interfaces §3.2
+describes:
+
+* *downward*: a pluggable :class:`PathController` (the MP-DASH deadline-aware
+  scheduler) that may enable/disable paths per tick.  Decisions travel to the
+  server over a delayed :class:`~repro.mptcp.options.SignalChannel`, modeling
+  the reserved DSS-option bit.
+* *upward*: ``aggregate_throughput_estimate()``, the throughput the MP-DASH
+  adapter feeds to throughput-based DASH algorithms (a player cannot see all
+  paths on its own because MPTCP is transparent to it).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..estimators import ThroughputEstimator
+from ..net.link import Path
+from ..net.simulator import Simulator
+from .activity import ActivityLog
+from .options import SignalChannel
+from .schedulers import MptcpScheduler, make_scheduler
+from .subflow import Subflow
+
+#: Completion slack for float byte accounting.
+_EPSILON = 0.5
+
+
+class Transfer:
+    """One request/response exchange (e.g. a video chunk download)."""
+
+    _next_id = 0
+
+    def __init__(self, total_bytes: float, tag: str = "",
+                 on_complete: Optional[Callable[["Transfer"], None]] = None):
+        if total_bytes <= 0:
+            raise ValueError(f"transfer size must be positive: {total_bytes!r}")
+        Transfer._next_id += 1
+        self.id = Transfer._next_id
+        self.tag = tag
+        self.total_bytes = float(total_bytes)
+        self.bytes_done = 0.0
+        #: When set, only this many bytes exist at the sender so far (a
+        #: proxy still fetching from the origin); None = all available.
+        self.available: Optional[float] = None
+        self.per_path: Dict[str, float] = {}
+        self.requested_at: Optional[float] = None
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.on_complete = on_complete
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.total_bytes - self.bytes_done)
+
+    @property
+    def sendable(self) -> float:
+        """Bytes the sender may put on the wire right now."""
+        if self.available is None:
+            return self.remaining
+        return max(0.0, min(self.remaining,
+                            self.available - self.bytes_done))
+
+    @property
+    def complete(self) -> bool:
+        return self.remaining <= _EPSILON
+
+    def add(self, path: str, num_bytes: float) -> None:
+        self.bytes_done += num_bytes
+        self.per_path[path] = self.per_path.get(path, 0.0) + num_bytes
+
+    def duration(self) -> Optional[float]:
+        """Request-to-last-byte latency, once finished."""
+        if self.finished_at is None or self.requested_at is None:
+            return None
+        return self.finished_at - self.requested_at
+
+    def throughput(self) -> Optional[float]:
+        """Application-observed download throughput (bytes/second)."""
+        elapsed = self.duration()
+        if not elapsed:
+            return None
+        return self.total_bytes / elapsed
+
+    def fraction_on(self, path: str) -> float:
+        if self.bytes_done <= 0:
+            return 0.0
+        return self.per_path.get(path, 0.0) / self.bytes_done
+
+    def __repr__(self) -> str:
+        return (f"<Transfer #{self.id} {self.tag!r} "
+                f"{self.bytes_done / 1e6:.2f}/{self.total_bytes / 1e6:.2f}MB>")
+
+
+class PathController(ABC):
+    """Per-tick hook deciding path enablement (the MP-DASH control point)."""
+
+    @abstractmethod
+    def on_tick(self, now: float, transfer: Optional[Transfer],
+                connection: "MptcpConnection") -> Optional[Dict[str, bool]]:
+        """Return desired enabled-state per path name, or None for no-op."""
+
+    def on_transfer_start(self, now: float, transfer: Transfer,
+                          connection: "MptcpConnection") -> None:
+        """Called when a transfer's data starts flowing."""
+
+    def on_transfer_complete(self, now: float, transfer: Transfer,
+                             connection: "MptcpConnection") -> None:
+        """Called when a transfer finishes."""
+
+
+class MptcpConnection:
+    """A multipath TCP connection over simulated paths."""
+
+    def __init__(self, sim: Simulator, paths: Sequence[Path],
+                 scheduler: str = "minrtt",
+                 tick_interval: float = 0.01,
+                 estimator_factory: Optional[Callable[[], ThroughputEstimator]] = None,
+                 signaling_delay: Optional[float] = None,
+                 activity_bin: float = 0.1,
+                 subflow_reestablish: bool = False):
+        """``subflow_reestablish`` switches from MP-DASH's skip-in-scheduler
+        semantics to the add/remove-subflow alternative: disabled paths are
+        torn down and pay a 1.5-RTT handshake plus a congestion restart
+        when re-enabled (the §6 design-choice ablation)."""
+        if not paths:
+            raise ValueError("an MPTCP connection needs at least one path")
+        names = [p.name for p in paths]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate path names: {names}")
+        self.sim = sim
+        self.tick_interval = tick_interval
+        self.subflows: List[Subflow] = [
+            Subflow(p, estimator_factory() if estimator_factory else None,
+                    reconnect_delay=(1.5 * p.rtt if subflow_reestablish
+                                     else 0.0))
+            for p in paths
+        ]
+        self._by_name = {sf.name: sf for sf in self.subflows}
+        self.scheduler: MptcpScheduler = make_scheduler(scheduler)
+        self.controller: Optional[PathController] = None
+        self.activity = ActivityLog(activity_bin)
+        # The primary path carries the DSS signaling; default delay one
+        # primary-path RTT (pass 0 to study instantaneous signaling).
+        self.primary = self.subflows[0]
+        if signaling_delay is None:
+            signaling_delay = self.primary.path.rtt
+        self.signaling_delay = signaling_delay
+        self._signals: Dict[str, SignalChannel] = {
+            sf.name: SignalChannel(sf.path.enabled, signaling_delay)
+            for sf in self.subflows
+        }
+        self._queue: List[Transfer] = []
+        self._active: Optional[Transfer] = None
+        self._activating = False
+        self._ticker = sim.call_every(tick_interval, self._on_tick)
+
+    # ------------------------------------------------------------------
+    # Transfers
+    # ------------------------------------------------------------------
+    def start_transfer(self, total_bytes: float, tag: str = "",
+                       on_complete: Optional[Callable[[Transfer], None]] = None
+                       ) -> Transfer:
+        """Issue a request for ``total_bytes``; data flows one RTT later."""
+        transfer = Transfer(total_bytes, tag, on_complete)
+        transfer.requested_at = self.sim.now
+        self._queue.append(transfer)
+        if self._active is None:
+            self._activate_next()
+        return transfer
+
+    def _activate_next(self) -> None:
+        if self._active is not None or self._activating or not self._queue:
+            return
+        transfer = self._queue.pop(0)
+        self._activating = True
+        # HTTP request + first response byte: one primary-path RTT.
+        delay = max(0.0, transfer.requested_at + self.primary.path.rtt
+                    - self.sim.now)
+        self.sim.schedule(delay, self._begin, transfer)
+
+    def _begin(self, transfer: Transfer) -> None:
+        self._activating = False
+        transfer.started_at = self.sim.now
+        self._active = transfer
+        if self.controller is not None:
+            self.controller.on_transfer_start(self.sim.now, transfer, self)
+
+    @property
+    def active_transfer(self) -> Optional[Transfer]:
+        return self._active
+
+    @property
+    def busy(self) -> bool:
+        return (self._active is not None or self._activating
+                or bool(self._queue))
+
+    # ------------------------------------------------------------------
+    # Path control (client decision -> delayed server enforcement)
+    # ------------------------------------------------------------------
+    def request_path_state(self, name: str, enabled: bool) -> None:
+        """Client-side decision; takes effect after the signaling delay."""
+        if name not in self._signals:
+            raise KeyError(f"unknown path {name!r}")
+        self._signals[name].send(self.sim.now, enabled)
+
+    def path_state(self, name: str) -> bool:
+        """Server-side effective enabled-state of ``name`` right now."""
+        return self._signals[name].current(self.sim.now)
+
+    def subflow(self, name: str) -> Subflow:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            known = ", ".join(sorted(self._by_name))
+            raise KeyError(f"unknown path {name!r} (known: {known})") from None
+
+    def path_names(self) -> List[str]:
+        return [sf.name for sf in self.subflows]
+
+    # ------------------------------------------------------------------
+    # Cross-layer estimates (the upward interface of §3.2)
+    # ------------------------------------------------------------------
+    def throughput_estimate(self, name: str) -> Optional[float]:
+        """Estimated throughput of one subflow (bytes/second)."""
+        return self.subflow(name).throughput_estimate()
+
+    def aggregate_throughput_estimate(self) -> Optional[float]:
+        """Sum of per-subflow estimates across *all* paths.
+
+        Includes currently disabled paths: the player should see the overall
+        available network resources, not just what MP-DASH happens to be
+        using this instant.
+        """
+        estimates = [sf.throughput_estimate() for sf in self.subflows]
+        known = [e for e in estimates if e is not None]
+        if not known:
+            return None
+        return sum(known)
+
+    # ------------------------------------------------------------------
+    # Tick loop
+    # ------------------------------------------------------------------
+    def _on_tick(self) -> None:
+        now = self.sim.now
+        dt = self.tick_interval
+        # 1. Apply in-flight enable/disable decisions at the server.
+        for subflow in self.subflows:
+            subflow.path.enabled = self._signals[subflow.name].current(now)
+            subflow.notice_state(now)
+
+        transfer = self._active
+        sending = transfer is not None
+
+        # 2. Advance TCP state, collecting this tick's byte budgets.
+        budgets: Dict[str, float] = {}
+        for subflow in self.subflows:
+            budgets[subflow.name] = subflow.advance(now, dt, sending)
+
+        # 3. Move bytes.
+        if sending:
+            enabled = [sf for sf in self.subflows if sf.path.enabled]
+            allocation = self.scheduler.allocate(transfer.sendable, enabled,
+                                                 budgets)
+            for subflow in enabled:
+                delivered = allocation.get(subflow.name, 0.0)
+                if delivered <= 0:
+                    continue
+                subflow.account(delivered, dt,
+                                budget=budgets.get(subflow.name))
+                transfer.add(subflow.name, delivered)
+                self.activity.record(now, subflow.name, delivered)
+            if transfer.complete:
+                self._finish(transfer)
+                transfer = self._active  # may be None now
+
+        # 4. Let the controller steer paths for the (possibly new) state.
+        if self.controller is not None:
+            desired = self.controller.on_tick(now, self._active, self)
+            if desired:
+                for name, enabled in desired.items():
+                    self.request_path_state(name, enabled)
+
+    def _finish(self, transfer: Transfer) -> None:
+        transfer.finished_at = self.sim.now
+        self._active = None
+        if self.controller is not None:
+            self.controller.on_transfer_complete(self.sim.now, transfer, self)
+        if transfer.on_complete is not None:
+            transfer.on_complete(transfer)
+        self._activate_next()
+
+    def close(self) -> None:
+        """Stop the tick loop (ends the connection's simulation activity)."""
+        self._ticker.stop()
+
+    def __repr__(self) -> str:
+        return (f"<MptcpConnection paths={self.path_names()} "
+                f"scheduler={self.scheduler.name} busy={self.busy}>")

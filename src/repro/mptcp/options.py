@@ -1,0 +1,52 @@
+"""MPTCP option signaling between client and server.
+
+MP-DASH splits its scheduler: the *decision* function runs at the client
+(next to the video player) and the *enforcement* function at the server
+(which actually places bytes on paths).  The client communicates its
+decision — "cellular subflow on/off" — with a reserved bit in the MPTCP DSS
+(Data Sequence Signal) option, so a decision only takes effect at the server
+after roughly one path round-trip.
+
+:class:`SignalChannel` models that delay: values written now become visible
+to readers one ``delay`` later, in write order.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Tuple
+
+
+class SignalChannel:
+    """A delayed single-value channel (latest-writer-wins after delay)."""
+
+    def __init__(self, initial: Any, delay: float):
+        if delay < 0:
+            raise ValueError(f"delay cannot be negative: {delay!r}")
+        self.delay = delay
+        self._current: Any = initial
+        self._in_flight: Deque[Tuple[float, Any]] = deque()
+
+    def send(self, now: float, value: Any) -> None:
+        """Write ``value``; it becomes readable at ``now + delay``."""
+        # Skip the wire entirely for a no-op write so a steady stream of
+        # identical decisions does not grow the queue.
+        if not self._in_flight and value == self._current:
+            return
+        if self._in_flight and value == self._in_flight[-1][1]:
+            return
+        self._in_flight.append((now + self.delay, value))
+
+    def current(self, now: float) -> Any:
+        """The value visible to the reader (server) at time ``now``."""
+        while self._in_flight and self._in_flight[0][0] <= now:
+            _, self._current = self._in_flight.popleft()
+        return self._current
+
+    def pending(self) -> int:
+        """Number of in-flight (not yet effective) writes."""
+        return len(self._in_flight)
+
+    def __repr__(self) -> str:
+        return (f"<SignalChannel current={self._current!r} "
+                f"pending={len(self._in_flight)} delay={self.delay}>")

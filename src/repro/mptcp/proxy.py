@@ -1,0 +1,99 @@
+"""TCP-splitting proxy: MP-DASH without touching the video server (§8).
+
+"By using standard TCP splitting proxies with MP-DASH enabled MPTCP, we can
+make MP-DASH fully transparent to video servers.  The proxy is TLS/SSL
+friendly as it runs at the transport layer."
+
+The proxy terminates two legs:
+
+* **origin leg** — a vanilla single-path TCP connection to the unmodified
+  video server (its own fluid congestion state over one path), and
+* **client leg** — the MP-DASH-enabled MPTCP connection to the client.
+
+A response streams through the proxy's buffer: the client leg can only
+relay bytes the origin leg has already delivered (cut-through, not
+store-and-forward), so the end-to-end rate is governed by the slower leg —
+and the MP-DASH machinery on the client leg (preferences, deadlines,
+path toggling) operates completely unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..net.link import Path
+from ..net.simulator import Simulator
+from ..net.tcp import TcpState
+from .connection import MptcpConnection, Transfer
+
+
+class SplittingProxy:
+    """Relays transfers from a single-path origin onto an MPTCP client leg."""
+
+    def __init__(self, sim: Simulator, origin_path: Path,
+                 client_leg: MptcpConnection,
+                 tick_interval: float = 0.01):
+        if tick_interval <= 0:
+            raise ValueError(
+                f"tick_interval must be positive: {tick_interval!r}")
+        self.sim = sim
+        self.origin_path = origin_path
+        self.client_leg = client_leg
+        self.tick_interval = tick_interval
+        #: Total bytes fetched from the origin across all transfers.
+        self.origin_bytes = 0.0
+        self._active: Optional[dict] = None
+        self._queue: list = []
+        self._ticker = sim.call_every(tick_interval, self._on_tick)
+
+    # ------------------------------------------------------------------
+    def fetch(self, size: float, tag: str = "",
+              on_complete: Optional[Callable[[Transfer], None]] = None
+              ) -> Transfer:
+        """Fetch ``size`` bytes from the origin, relayed to the client.
+
+        Returns the client-leg transfer; its ``available`` watermark rises
+        as origin bytes arrive at the proxy.
+        """
+        if size <= 0:
+            raise ValueError(f"size must be positive: {size!r}")
+        transfer = self.client_leg.start_transfer(size, tag=tag,
+                                                  on_complete=on_complete)
+        transfer.available = 0.0
+        job = {"transfer": transfer, "fetched": 0.0, "size": float(size),
+               "tcp": TcpState(self.origin_path.rtt),
+               # The proxy's own request to the origin costs one RTT.
+               "starts_at": self.sim.now + self.origin_path.rtt}
+        self._queue.append(job)
+        return transfer
+
+    def _on_tick(self) -> None:
+        now = self.sim.now
+        if self._active is None:
+            while self._queue and self._queue[0]["transfer"].complete:
+                self._queue.pop(0)  # cancelled/finished without us
+            if not self._queue:
+                return
+            if self._queue[0]["starts_at"] > now:
+                return
+            self._active = self._queue.pop(0)
+        job = self._active
+        remaining = job["size"] - job["fetched"]
+        if remaining > 0:
+            delivered = job["tcp"].advance(
+                now, self.tick_interval,
+                self.origin_path.bandwidth_at(now), sending=True)
+            delivered = min(delivered, remaining)
+            job["fetched"] += delivered
+            self.origin_bytes += delivered
+            job["transfer"].available = job["fetched"]
+        if job["fetched"] >= job["size"] - 1e-6:
+            job["transfer"].available = job["size"]
+            self._active = None
+
+    def close(self) -> None:
+        self._ticker.stop()
+
+    def __repr__(self) -> str:
+        return (f"<SplittingProxy origin={self.origin_path.name} "
+                f"relayed={self.origin_bytes / 1e6:.2f}MB>")

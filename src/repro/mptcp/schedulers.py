@@ -1,0 +1,103 @@
+"""MPTCP packet schedulers: default (minRTT) and round-robin.
+
+In the kernel, the scheduler picks which subflow carries the *next packet*
+whenever multiple subflows have congestion-window space.  In our fluid model
+each tick offers every enabled subflow a byte budget (``rate * dt``); when
+the remaining data exceeds the combined budget, every subflow is saturated
+and the two schedulers behave identically — which matches the paper's
+observation that a backlogged MPTCP flow fills both pipes (Figure 1).  They
+differ on the *final sliver* of a transfer and on small transfers:
+
+* ``minrtt`` drains the lowest-RTT subflow first (the kernel default —
+  "prefers low latency paths"),
+* ``roundrobin`` splits the sliver across subflows in proportion to their
+  budgets (the limit of per-packet alternation).
+
+MP-DASH layers on top of either: "disabling" a subflow simply removes it
+from the allocation, exactly as the kernel patch skips it in the scheduling
+function.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Sequence
+
+from .subflow import Subflow
+
+
+class MptcpScheduler(ABC):
+    """Allocates a transfer's remaining bytes to subflow budgets."""
+
+    name: str
+
+    @abstractmethod
+    def allocate(self, remaining: float, subflows: Sequence[Subflow],
+                 budgets: Dict[str, float]) -> Dict[str, float]:
+        """Split up to ``remaining`` bytes across subflows.
+
+        ``budgets`` maps subflow name to the byte budget this tick.  Returns
+        the bytes each subflow actually carries (never exceeding its budget,
+        and summing to at most ``remaining``).
+        """
+
+
+class MinRttScheduler(MptcpScheduler):
+    """The MPTCP default: fill subflows lowest-RTT first."""
+
+    name = "minrtt"
+
+    def allocate(self, remaining: float, subflows: Sequence[Subflow],
+                 budgets: Dict[str, float]) -> Dict[str, float]:
+        allocation = {sf.name: 0.0 for sf in subflows}
+        ordered = sorted(subflows, key=lambda sf: (sf.path.rtt, sf.name))
+        left = remaining
+        for subflow in ordered:
+            if left <= 0:
+                break
+            take = min(budgets.get(subflow.name, 0.0), left)
+            allocation[subflow.name] = take
+            left -= take
+        return allocation
+
+
+class RoundRobinScheduler(MptcpScheduler):
+    """Alternate packets across subflows (proportional in the fluid limit)."""
+
+    name = "roundrobin"
+
+    def allocate(self, remaining: float, subflows: Sequence[Subflow],
+                 budgets: Dict[str, float]) -> Dict[str, float]:
+        allocation = {sf.name: 0.0 for sf in subflows}
+        total_budget = sum(budgets.get(sf.name, 0.0) for sf in subflows)
+        if total_budget <= 0:
+            return allocation
+        if remaining >= total_budget:
+            for subflow in subflows:
+                allocation[subflow.name] = budgets.get(subflow.name, 0.0)
+            return allocation
+        # Proportional split of the final sliver; cap at per-subflow budget.
+        scale = remaining / total_budget
+        for subflow in subflows:
+            allocation[subflow.name] = budgets.get(subflow.name, 0.0) * scale
+        return allocation
+
+
+_SCHEDULERS = {
+    MinRttScheduler.name: MinRttScheduler,
+    RoundRobinScheduler.name: RoundRobinScheduler,
+}
+
+
+def make_scheduler(name: str) -> MptcpScheduler:
+    """Look up a scheduler by name (``minrtt`` or ``roundrobin``)."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        known = ", ".join(sorted(_SCHEDULERS))
+        raise ValueError(f"unknown MPTCP scheduler {name!r} "
+                         f"(known: {known})") from None
+
+
+def scheduler_names() -> List[str]:
+    return sorted(_SCHEDULERS)

@@ -1,0 +1,114 @@
+"""One MPTCP subflow: a path plus its TCP state and accounting.
+
+A subflow owns the fluid TCP model for its path, a running throughput
+estimator (Holt-Winters by default — the estimator MP-DASH consults as
+``R_WiFi`` in Algorithm 1), and byte counters used by the analysis tool and
+the energy model.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..estimators import HoltWinters, ThroughputEstimator
+from ..net.link import Path
+from ..net.tcp import TcpState
+
+
+#: Minimum window over which a throughput sample is formed before being fed
+#: to the estimator.  One sample per ~RTT mirrors how a receiver-side
+#: estimator would see ACK clocking.
+MIN_SAMPLE_INTERVAL = 0.05
+
+
+class Subflow:
+    """Transport state of a single path within an MPTCP connection."""
+
+    def __init__(self, path: Path,
+                 estimator: Optional[ThroughputEstimator] = None,
+                 reconnect_delay: float = 0.0):
+        """``reconnect_delay`` models the eMPTCP-style alternative to
+        MP-DASH's skip-in-scheduler design: tearing the subflow down when
+        disabled and re-establishing it on enable, paying a handshake delay
+        and a congestion restart each time (§6 argues against this).  Zero
+        (the default) gives MP-DASH's skip semantics: the subflow stays
+        established and is merely skipped, so re-enabling is free.
+        """
+        if reconnect_delay < 0:
+            raise ValueError(
+                f"reconnect_delay cannot be negative: {reconnect_delay!r}")
+        self.path = path
+        self.tcp = TcpState(path.rtt)
+        self.estimator = estimator if estimator is not None else HoltWinters()
+        self.reconnect_delay = reconnect_delay
+        self.total_bytes = 0
+        self.reconnects = 0
+        self._was_enabled = path.enabled
+        self._usable_after = 0.0
+        # Sample accumulation for the estimator.
+        self._sample_bytes = 0.0
+        self._sample_busy = 0.0
+        self._sample_interval = max(path.rtt, MIN_SAMPLE_INTERVAL)
+
+    @property
+    def name(self) -> str:
+        return self.path.name
+
+    def notice_state(self, now: float) -> None:
+        """Track enable/disable transitions for reconnect semantics."""
+        enabled = self.path.enabled
+        if enabled and not self._was_enabled and self.reconnect_delay > 0:
+            # Re-adding a torn-down subflow: handshake plus a fresh window.
+            self._usable_after = now + self.reconnect_delay
+            self.tcp.reset()
+            self.reconnects += 1
+        self._was_enabled = enabled
+
+    def _usable(self, now: float) -> bool:
+        return self.path.enabled and now >= self._usable_after
+
+    def deliverable(self, now: float, dt: float) -> float:
+        """Bytes this subflow could carry in the next ``dt`` seconds."""
+        if not self._usable(now):
+            return 0.0
+        return self.tcp.rate(self.path.bandwidth_at(now)) * dt
+
+    def advance(self, now: float, dt: float, sending: bool) -> float:
+        """Advance TCP state; return the byte budget for this tick."""
+        if not self._usable(now):
+            return 0.0
+        return self.tcp.advance(now, dt, self.path.bandwidth_at(now), sending)
+
+    def account(self, delivered: float, dt: float,
+                budget: Optional[float] = None) -> None:
+        """Record ``delivered`` bytes carried during a tick of ``dt``.
+
+        ``budget`` is what the subflow *could* have carried this tick.  A
+        delivery well below the budget is application-limited (e.g. the
+        last sliver of a chunk) and says nothing about path capacity, so —
+        like kernel rate samplers — it is excluded from the throughput
+        estimate.  Only network-limited ticks produce samples.
+        """
+        self.total_bytes += delivered
+        if delivered <= 0:
+            return
+        network_limited = budget is None or delivered >= 0.7 * budget
+        if network_limited:
+            self._sample_bytes += delivered
+            self._sample_busy += dt
+            if self._sample_busy >= self._sample_interval:
+                self.estimator.update(self._sample_bytes / self._sample_busy)
+                self._sample_bytes = 0.0
+                self._sample_busy = 0.0
+
+    def throughput_estimate(self) -> Optional[float]:
+        """Predicted throughput (bytes/second); None before any sample."""
+        return self.estimator.predict()
+
+    def reset_tcp(self) -> None:
+        """Reset congestion state (new connection semantics)."""
+        self.tcp.reset()
+
+    def __repr__(self) -> str:
+        return (f"<Subflow {self.name} total={self.total_bytes / 1e6:.2f}MB "
+                f"est={self.throughput_estimate()}>")

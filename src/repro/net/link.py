@@ -1,0 +1,101 @@
+"""Network path model.
+
+A :class:`Path` is one end-to-end route between client and server — the
+paper's WiFi path or LTE path.  It bundles the link's time-varying bandwidth
+trace, its round-trip time, and the attributes the MP-DASH scheduler reasons
+about: a unit-data cost (the c(i, j) of the §4 formulation) and an
+``enabled`` flag, which is the single control point the deadline-aware
+scheduler toggles ("disabling" a subflow means skipping it in the MPTCP
+scheduling function, exactly as the kernel implementation does).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .trace import BandwidthTrace
+from .units import mbps, milliseconds
+
+
+#: Canonical interface names used across the package.
+WIFI = "wifi"
+CELLULAR = "cellular"
+
+
+@dataclass
+class Path:
+    """One network path (interface) between client and server."""
+
+    name: str
+    trace: BandwidthTrace
+    rtt: float
+    #: Relative unit-data cost; the scheduler prefers lower-cost paths.
+    #: Data usage, energy, or a blend — the paper leaves the semantics to
+    #: the user's policy, only the ordering matters to Algorithm 1.
+    cost: float = 1.0
+    #: Whether the MPTCP scheduler may place packets on this path.  This is
+    #: what MP-DASH toggles; it is *not* radio power state (the radio stays
+    #: attached, so re-enabling costs no handshake).
+    enabled: bool = True
+    #: Optional hard throttle applied on top of the trace (the Table 4
+    #: cellular throttling baseline).  None means unthrottled.
+    throttle: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rtt <= 0:
+            raise ValueError(f"rtt must be positive: {self.rtt!r}")
+        if self.cost < 0:
+            raise ValueError(f"cost cannot be negative: {self.cost!r}")
+
+    def bandwidth_at(self, time: float) -> float:
+        """Available bandwidth (bytes/second) at ``time``, post-throttle."""
+        rate = self.trace.bandwidth_at(time)
+        if self.throttle is not None:
+            rate = min(rate, self.throttle)
+        return rate
+
+    def mean_bandwidth(self) -> float:
+        rate = self.trace.mean_bandwidth()
+        if self.throttle is not None:
+            rate = min(rate, self.throttle)
+        return rate
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"<Path {self.name} {state} "
+                f"rtt={self.rtt * 1000:.0f}ms cost={self.cost}>")
+
+
+def wifi_path(bandwidth_mbps: Optional[float] = None,
+              rtt_ms: float = 50.0,
+              trace: Optional[BandwidthTrace] = None,
+              cost: float = 0.0) -> Path:
+    """Build the WiFi path of the paper's testbed.
+
+    Defaults follow §7.1: RTT shaped to 50 ms (typical metropolitan WiFi)
+    and zero marginal cost (unmetered).  Pass either a constant
+    ``bandwidth_mbps`` or a full ``trace``.
+    """
+    if (bandwidth_mbps is None) == (trace is None):
+        raise ValueError("provide exactly one of bandwidth_mbps or trace")
+    if trace is None:
+        trace = BandwidthTrace.constant(mbps(bandwidth_mbps))
+    return Path(WIFI, trace, milliseconds(rtt_ms), cost=cost)
+
+
+def cellular_path(bandwidth_mbps: Optional[float] = None,
+                  rtt_ms: float = 55.0,
+                  trace: Optional[BandwidthTrace] = None,
+                  cost: float = 1.0) -> Path:
+    """Build the LTE path of the paper's testbed.
+
+    Defaults follow §7.1: 50-60 ms RTT on a commercial LTE network, and a
+    positive cost (metered data) so the preference ordering puts it after
+    WiFi.
+    """
+    if (bandwidth_mbps is None) == (trace is None):
+        raise ValueError("provide exactly one of bandwidth_mbps or trace")
+    if trace is None:
+        trace = BandwidthTrace.constant(mbps(bandwidth_mbps))
+    return Path(CELLULAR, trace, milliseconds(rtt_ms), cost=cost)

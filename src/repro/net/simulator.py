@@ -1,0 +1,157 @@
+"""Discrete-event simulation kernel.
+
+The kernel is deliberately small: a binary-heap event queue, a simulated
+clock, and helpers for periodic processes.  Everything else in the package
+(TCP dynamics, MPTCP scheduling, the DASH player) is built as callbacks
+scheduled on a :class:`Simulator`.
+
+Events fire in timestamp order; ties break in scheduling order, which keeps
+runs fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation is driven into an invalid state."""
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Events may be cancelled; a cancelled event stays in the heap but is
+    skipped when popped (lazy deletion).
+    """
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing.  Idempotent."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time:.6f} {state} {self.callback!r}>"
+
+
+class Simulator:
+    """Discrete-event simulator with a monotonically advancing clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq = itertools.count()
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past: {delay!r}")
+        event = Event(self.now + delay, next(self._seq), callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def call_every(self, interval: float, callback: Callable[..., Any],
+                   *args: Any) -> "PeriodicProcess":
+        """Run ``callback(*args)`` every ``interval`` seconds until stopped."""
+        return PeriodicProcess(self, interval, callback, args)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[float] = None) -> None:
+        """Process events in order.
+
+        Runs until the queue is empty, or until the clock would pass
+        ``until`` (the clock is then advanced exactly to ``until``).
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                if event.time < self.now - 1e-12:
+                    raise SimulationError(
+                        f"event at {event.time} is behind clock {self.now}")
+                self.now = max(self.now, event.time)
+                event.callback(*event.args)
+            if until is not None and until > self.now:
+                self.now = until
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> None:
+        """Advance the simulation by ``duration`` seconds."""
+        self.run(until=self.now + duration)
+
+    def pending_events(self) -> int:
+        """Number of scheduled, non-cancelled events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class PeriodicProcess:
+    """A callback re-armed every ``interval`` seconds.
+
+    The first firing happens one interval from creation.  ``stop()`` halts
+    the process; it can be restarted with ``start()``.
+    """
+
+    def __init__(self, sim: Simulator, interval: float,
+                 callback: Callable[..., Any], args: tuple):
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive: {interval!r}")
+        self._sim = sim
+        self.interval = interval
+        self._callback = callback
+        self._args = args
+        self._event: Optional[Event] = None
+        self.start()
+
+    @property
+    def active(self) -> bool:
+        return self._event is not None
+
+    def start(self) -> None:
+        if self._event is None:
+            self._event = self._sim.schedule(self.interval, self._fire)
+
+    def stop(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        # Re-arm first so the callback may call stop() to halt the process.
+        self._event = self._sim.schedule(self.interval, self._fire)
+        self._callback(*self._args)

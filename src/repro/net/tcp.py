@@ -1,0 +1,112 @@
+"""Fluid-flow model of a single TCP subflow's sending rate.
+
+The full packet-level behaviour of TCP is not needed to reproduce MP-DASH:
+what matters to the paper's results is the *shape* of per-path throughput
+over time —
+
+* slow-start ramp at connection start and after idle periods (DASH traffic
+  is on/off, so every chunk download after a buffer-full gap restarts from
+  a reduced window; this is why the throttling baseline of Table 4 "dribbles"
+  and why MP-DASH's burst-then-idle pattern is radio-energy friendly),
+* congestion-avoidance tracking of the available bandwidth, and
+* immediate rate collapse when the trace drops (the driver of cellular
+  re-enablement in Algorithm 1).
+
+We therefore model each subflow with a congestion window evolving in
+continuous time: exponential growth below the bandwidth-delay product
+(slow start), additive growth above it up to a small queue allowance
+(congestion avoidance), and window restart after an idle period longer than
+the retransmission timeout, per RFC 2861's congestion-window validation.
+"""
+
+from __future__ import annotations
+
+from .units import PACKET_SIZE
+
+
+#: Initial congestion window, bytes (10 segments, RFC 6928).
+INITIAL_CWND = 10 * PACKET_SIZE
+
+#: How much standing queue (as a fraction of BDP) the window may build
+#: before the model stops growing it.  Small, because the paper's testbed is
+#: explicitly configured to avoid bufferbloat.
+QUEUE_ALLOWANCE = 0.25
+
+#: Minimum retransmission timeout; idle longer than max(RTO, 2*RTT) causes a
+#: window restart.
+MIN_RTO = 0.2
+
+
+class TcpState:
+    """Congestion state of one subflow, advanced in fluid time steps."""
+
+    def __init__(self, rtt: float):
+        if rtt <= 0:
+            raise ValueError(f"rtt must be positive: {rtt!r}")
+        self.rtt = rtt
+        self.cwnd = float(INITIAL_CWND)
+        self.ssthresh = float("inf")
+        self.last_send_time: float = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    def rate(self, available_bw: float) -> float:
+        """Current achievable sending rate in bytes/second.
+
+        The window-limited rate is ``cwnd / rtt``; the path then clips it to
+        the available bandwidth of the link at this instant.
+        """
+        return min(self.cwnd / self.rtt, available_bw)
+
+    def advance(self, now: float, dt: float, available_bw: float,
+                sending: bool) -> float:
+        """Advance the window by ``dt`` seconds; return bytes deliverable.
+
+        ``sending`` is True when the application has data queued for this
+        subflow.  When idle, the window decays via the restart rule instead
+        of growing.
+        """
+        if not sending:
+            return 0.0
+        self._maybe_idle_restart(now)
+        self.last_send_time = now + dt
+
+        bdp = available_bw * self.rtt
+        ceiling = bdp * (1.0 + QUEUE_ALLOWANCE)
+        if self.cwnd < min(self.ssthresh, bdp):
+            # Slow start: the window doubles once per RTT.
+            self.cwnd = min(self.cwnd * (2.0 ** (dt / self.rtt)),
+                            max(ceiling, INITIAL_CWND))
+        elif self.cwnd < ceiling:
+            # Congestion avoidance: one segment per RTT.
+            self.cwnd = min(self.cwnd + PACKET_SIZE * (dt / self.rtt),
+                            max(ceiling, INITIAL_CWND))
+        else:
+            # The trace dropped (or we overshot): fast-recovery style halving
+            # toward the new ceiling, and remember it as ssthresh.
+            self.cwnd = max(ceiling, INITIAL_CWND, self.cwnd / 2.0)
+            self.ssthresh = max(self.cwnd, INITIAL_CWND)
+        return self.rate(available_bw) * dt
+
+    def _maybe_idle_restart(self, now: float) -> None:
+        """Apply RFC 2861 congestion-window validation after idle."""
+        if self.last_send_time is None:
+            return
+        idle = now - self.last_send_time
+        rto = max(MIN_RTO, 2.0 * self.rtt)
+        if idle > rto:
+            # Halve once per RTO elapsed, not below the initial window.  A
+            # few dozen halvings already reach the floor; cap the exponent
+            # so astronomically long idles cannot overflow.
+            halvings = min(int(idle / rto), 64)
+            self.ssthresh = max(self.cwnd * 0.75, INITIAL_CWND)
+            self.cwnd = max(self.cwnd / (2.0 ** halvings), INITIAL_CWND)
+
+    def reset(self) -> None:
+        """Return to the initial (connection-start) state."""
+        self.cwnd = float(INITIAL_CWND)
+        self.ssthresh = float("inf")
+        self.last_send_time = None  # type: ignore[assignment]
+
+    def __repr__(self) -> str:
+        return (f"<TcpState cwnd={self.cwnd / PACKET_SIZE:.1f}pkts "
+                f"rtt={self.rtt * 1000:.0f}ms>")

@@ -1,0 +1,46 @@
+"""Unit helpers used throughout the simulator.
+
+All internal arithmetic uses **bytes** and **seconds**.  Anything expressed in
+bits, megabits, kilobits, or milliseconds at an API boundary goes through the
+explicit converters below so that a reader never has to guess the unit of a
+bare number.
+"""
+
+from __future__ import annotations
+
+#: Bytes per kilobyte / megabyte (decimal, matching network conventions).
+KB = 1000
+MB = 1000 * 1000
+
+#: Default MTU-sized payload used by the packet-granularity scheduler loop.
+PACKET_SIZE = 1448
+
+
+def mbps(value: float) -> float:
+    """Convert megabits per second to bytes per second."""
+    return value * 1e6 / 8.0
+
+
+def kbps(value: float) -> float:
+    """Convert kilobits per second to bytes per second."""
+    return value * 1e3 / 8.0
+
+
+def to_mbps(bytes_per_second: float) -> float:
+    """Convert bytes per second to megabits per second."""
+    return bytes_per_second * 8.0 / 1e6
+
+
+def megabytes(value: float) -> int:
+    """Convert megabytes to bytes (rounded to an integer byte count)."""
+    return int(round(value * MB))
+
+
+def to_megabytes(num_bytes: float) -> float:
+    """Convert bytes to megabytes."""
+    return num_bytes / MB
+
+
+def milliseconds(value: float) -> float:
+    """Convert milliseconds to seconds."""
+    return value / 1000.0

@@ -1,0 +1,22 @@
+"""Workloads: videos, bandwidth profiles, field locations, mobility."""
+
+from .locations import (Location, SCENARIO_ALWAYS, SCENARIO_COUNTS,
+                        SCENARIO_NEVER, SCENARIO_SOMETIMES,
+                        TABLE5_LOCATIONS, TOP_BITRATE_MBPS,
+                        field_study_locations, location_by_name)
+from .mobility import MobilityScenario
+from .synthetic import (BandwidthProfile, coffeehouse_profile,
+                        fast_food_profile, office_profile, synthetic_profile,
+                        table1_profiles)
+from .videos import (DEFAULT_CHUNK_DURATION, DEFAULT_DURATION, VIDEO_LADDERS,
+                     video_asset, video_names)
+
+__all__ = [
+    "BandwidthProfile", "DEFAULT_CHUNK_DURATION", "DEFAULT_DURATION",
+    "Location", "MobilityScenario", "SCENARIO_ALWAYS", "SCENARIO_COUNTS",
+    "SCENARIO_NEVER", "SCENARIO_SOMETIMES", "TABLE5_LOCATIONS",
+    "TOP_BITRATE_MBPS", "VIDEO_LADDERS", "coffeehouse_profile",
+    "fast_food_profile", "field_study_locations", "location_by_name",
+    "office_profile", "synthetic_profile", "table1_profiles", "video_asset",
+    "video_names",
+]

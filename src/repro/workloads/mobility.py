@@ -1,0 +1,54 @@
+"""The mobility scenario (§7.3.4).
+
+The paper walks a fixed route around a WiFi AP while streaming: WiFi
+throughput swings between ~5 Mbps (next to the AP) and near-zero (far side
+of the route) while LTE stays around 5 Mbps.  The walk is modeled as a
+raised-cosine bandwidth profile with a fixed loop period plus measurement
+jitter; LTE is a mildly fluctuating random walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..net.link import Path, cellular_path, wifi_path
+from ..net.trace import BandwidthTrace
+from ..net.units import mbps
+
+
+@dataclass(frozen=True)
+class MobilityScenario:
+    """Parameters of one walking loop around the AP."""
+
+    peak_wifi_mbps: float = 5.0
+    floor_wifi_mbps: float = 1.0
+    lte_mbps: float = 5.0
+    #: Seconds per full loop (away from the AP and back).
+    loop_period: float = 60.0
+    wifi_rtt_ms: float = 25.0
+    lte_rtt_ms: float = 60.0
+    seed: int = 77
+
+    def wifi_trace(self, duration: float) -> BandwidthTrace:
+        return BandwidthTrace.mobility_walk(
+            mbps(self.peak_wifi_mbps), mbps(self.floor_wifi_mbps),
+            period=self.loop_period, duration=duration, seed=self.seed)
+
+    def lte_trace(self, duration: float) -> BandwidthTrace:
+        return BandwidthTrace.random_walk(
+            mbps(self.lte_mbps), 0.12, duration, interval=0.5,
+            seed=self.seed + 1)
+
+    def paths(self, duration: float = 700.0) -> List[Path]:
+        return [
+            wifi_path(trace=self.wifi_trace(duration),
+                      rtt_ms=self.wifi_rtt_ms),
+            cellular_path(trace=self.lte_trace(duration),
+                          rtt_ms=self.lte_rtt_ms),
+        ]
+
+    def wifi_only_paths(self, duration: float = 700.0) -> List[Path]:
+        """Single-path WiFi configuration (Figure 11's bottom subplot)."""
+        return [wifi_path(trace=self.wifi_trace(duration),
+                          rtt_ms=self.wifi_rtt_ms)]

@@ -1,0 +1,179 @@
+"""Tests for the buffer-based ABR algorithms (BBA-2 and BBA-C)."""
+
+import pytest
+
+from repro.abr import Bba, BbaC, BUFFER_BASED
+from repro.abr.base import AbrContext
+from repro.dash.events import ChunkRecord
+from repro.dash.manifest import Manifest
+from repro.dash.media import VideoAsset
+from repro.net.units import mbps
+
+BITRATES_MBPS = [0.58, 1.01, 1.47, 2.41, 3.94]
+CAPACITY = 40.0
+
+
+@pytest.fixture
+def manifest():
+    asset = VideoAsset.generate("m", 4.0, 600.0, BITRATES_MBPS, seed=0)
+    return Manifest(asset)
+
+
+def ctx(manifest, current_level, buffer_level, history=None, override=None,
+        measured=None):
+    return AbrContext(manifest=manifest, buffer_level=buffer_level,
+                      buffer_capacity=CAPACITY, next_chunk_index=10,
+                      current_level=current_level,
+                      measured_throughput=measured,
+                      override_throughput=override,
+                      history=history or [], in_startup=False)
+
+
+def steady(abr):
+    """Put a BBA instance into its steady-state phase."""
+    abr._in_startup_phase = False
+    return abr
+
+
+def chunk(throughput, download_time=1.0):
+    return ChunkRecord(index=0, level=0, size=1e6, duration=4.0,
+                       requested_at=0.0, completed_at=download_time,
+                       throughput=throughput)
+
+
+class TestRateMap:
+    def test_reservoir_maps_to_lowest(self, manifest):
+        abr = Bba()
+        rate = abr.rate_map(5.0, CAPACITY, manifest.bitrates())
+        assert rate == manifest.bitrates()[0]
+
+    def test_upper_knee_maps_to_highest(self, manifest):
+        abr = Bba()
+        rate = abr.rate_map(38.0, CAPACITY, manifest.bitrates())
+        assert rate == manifest.bitrates()[-1]
+
+    def test_monotonically_increasing(self, manifest):
+        abr = Bba()
+        rates = [abr.rate_map(b, CAPACITY, manifest.bitrates())
+                 for b in range(0, 41, 2)]
+        assert rates == sorted(rates)
+
+    def test_level_buffer_range_partitions_cushion(self, manifest):
+        abr = Bba()
+        bitrates = manifest.bitrates()
+        previous_high = None
+        for level in range(len(bitrates)):
+            low, high = abr.level_buffer_range(level, CAPACITY, bitrates)
+            assert low < high
+            if previous_high is not None:
+                assert low == pytest.approx(previous_high)
+            previous_high = high
+        assert high == CAPACITY
+
+    def test_level_range_validates(self, manifest):
+        with pytest.raises(IndexError):
+            Bba().level_buffer_range(9, CAPACITY, manifest.bitrates())
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            Bba(reservoir_fraction=0.9, upper_fraction=0.5)
+        with pytest.raises(ValueError):
+            Bba(startup_speedup=1.5)
+
+
+class TestSteadyState:
+    def test_holds_level_inside_band(self, manifest):
+        abr = steady(Bba())
+        bitrates = manifest.bitrates()
+        low, high = abr.level_buffer_range(2, CAPACITY, bitrates)
+        level = abr.choose_level(ctx(manifest, 2, (low + high) / 2))
+        assert level == 2
+
+    def test_switches_up_when_buffer_high(self, manifest):
+        abr = steady(Bba())
+        level = abr.choose_level(ctx(manifest, 0, 37.0))
+        assert level > 0
+
+    def test_switches_down_when_buffer_low(self, manifest):
+        abr = steady(Bba())
+        level = abr.choose_level(ctx(manifest, 4, 8.0))
+        assert level < 4
+
+    def test_oscillation_between_adjacent_rungs(self, manifest):
+        """The Figure-3 pathology: capacity between two rungs makes BBA
+        bounce — high buffer pushes it up, the unsustainable rate drains
+        the buffer back down."""
+        abr = steady(Bba())
+        bitrates = manifest.bitrates()
+        # Buffer high enough that f(B) reaches the top rung.
+        up = abr.choose_level(ctx(manifest, 3, 38.0))
+        assert up == 4
+        # At the unsustainable top rung the buffer drains; once f(B) falls
+        # to rung 3 (hysteresis boundary), BBA steps back down.
+        low_3, _ = abr.level_buffer_range(3, CAPACITY, bitrates)
+        down = abr.choose_level(ctx(manifest, 4, low_3 - 2.0))
+        assert down < 4
+
+
+class TestStartup:
+    def test_fast_downloads_ramp_up(self, manifest):
+        abr = Bba()
+        history = [chunk(mbps(20.0), download_time=0.5)]
+        level = abr.choose_level(ctx(manifest, 0, 6.0, history=history))
+        assert level == 1
+
+    def test_slow_downloads_back_off(self, manifest):
+        abr = Bba()
+        history = [chunk(mbps(0.5), download_time=6.0)]
+        level = abr.choose_level(ctx(manifest, 2, 4.0, history=history))
+        assert level == 1
+
+    def test_startup_exits_when_map_catches_up(self, manifest):
+        abr = Bba()
+        abr.choose_level(ctx(manifest, 0, 30.0))
+        assert not abr._in_startup_phase
+
+    def test_reset_restores_startup(self, manifest):
+        abr = Bba()
+        abr.choose_level(ctx(manifest, 0, 30.0))
+        abr.reset()
+        assert abr._in_startup_phase
+
+
+class TestBbaC:
+    def test_category_inherited(self):
+        assert BbaC.category == BUFFER_BASED
+
+    def test_caps_at_measured_throughput(self, manifest):
+        """BBA wants the top rung; the 3.4 Mbps capacity cap holds it at
+        the highest sustainable level — the paper's oscillation fix."""
+        abr = steady(BbaC())
+        for _ in range(5):
+            abr.on_chunk_downloaded(chunk(mbps(3.4)))
+        level = abr.choose_level(ctx(manifest, 3, 38.0))
+        assert level == 3  # 2.41 Mbps fits, 3.94 does not
+
+    def test_no_cap_without_estimate(self, manifest):
+        abr = steady(BbaC())
+        level = abr.choose_level(ctx(manifest, 3, 38.0))
+        assert level == 4
+
+    def test_override_feeds_cap(self, manifest):
+        abr = steady(BbaC())
+        level = abr.choose_level(ctx(manifest, 3, 38.0,
+                                     override=mbps(1.2)))
+        assert level == 1
+
+    def test_behaves_like_bba_when_capacity_ample(self, manifest):
+        bba = steady(Bba())
+        bba_c = steady(BbaC())
+        for _ in range(5):
+            bba_c.on_chunk_downloaded(chunk(mbps(50.0)))
+        context = ctx(manifest, 2, 30.0)
+        assert bba_c.choose_level(context) == bba.choose_level(context)
+
+    def test_reset_clears_estimator(self, manifest):
+        abr = BbaC()
+        abr.on_chunk_downloaded(chunk(mbps(3.0)))
+        abr.reset()
+        assert abr._estimator.predict() is None

@@ -1,0 +1,133 @@
+"""Tests for the throughput-based ABR algorithms (GPAC, FESTIVE)."""
+
+import pytest
+
+from repro.abr import Festive, Gpac, THROUGHPUT_BASED
+from repro.abr.base import AbrContext
+from repro.dash.events import ChunkRecord
+from repro.dash.manifest import Manifest
+from repro.dash.media import VideoAsset
+from repro.net.units import mbps
+
+
+@pytest.fixture
+def manifest():
+    asset = VideoAsset.generate("m", 4.0, 600.0,
+                                [0.58, 1.01, 1.47, 2.41, 3.94], seed=0)
+    return Manifest(asset)
+
+
+def ctx(manifest, current_level=None, measured=None, override=None,
+        buffer_level=20.0, index=5):
+    return AbrContext(manifest=manifest, buffer_level=buffer_level,
+                      buffer_capacity=40.0, next_chunk_index=index,
+                      current_level=current_level,
+                      measured_throughput=measured,
+                      override_throughput=override, in_startup=False)
+
+
+def chunk(throughput, level=0):
+    return ChunkRecord(index=0, level=level, size=1e6, duration=4.0,
+                       requested_at=0.0, completed_at=1.0,
+                       throughput=throughput)
+
+
+class TestGpac:
+    def test_category(self):
+        assert Gpac.category == THROUGHPUT_BASED
+
+    def test_initial_level_is_lowest(self, manifest):
+        assert Gpac().initial_level(manifest) == 0
+
+    def test_picks_highest_level_below_estimate(self, manifest):
+        abr = Gpac()
+        assert abr.choose_level(ctx(manifest, 0, measured=mbps(3.0))) == 3
+        assert abr.choose_level(ctx(manifest, 0, measured=mbps(10.0))) == 4
+        assert abr.choose_level(ctx(manifest, 0, measured=mbps(0.6))) == 0
+
+    def test_floor_when_estimate_below_lowest(self, manifest):
+        assert Gpac().choose_level(ctx(manifest, 2,
+                                       measured=mbps(0.1))) == 0
+
+    def test_no_estimate_falls_to_initial(self, manifest):
+        assert Gpac().choose_level(ctx(manifest, 3)) == 0
+
+    def test_override_takes_precedence(self, manifest):
+        """The MP-DASH cross-layer estimate replaces the player's own."""
+        abr = Gpac()
+        level = abr.choose_level(ctx(manifest, 0, measured=mbps(1.0),
+                                     override=mbps(10.0)))
+        assert level == 4
+
+    def test_safety_factor(self, manifest):
+        abr = Gpac(safety=0.5)
+        assert abr.choose_level(ctx(manifest, 0, measured=mbps(4.0))) == \
+            Gpac().choose_level(ctx(manifest, 0, measured=mbps(2.0)))
+
+    def test_invalid_safety_rejected(self):
+        with pytest.raises(ValueError):
+            Gpac(safety=0.0)
+
+
+class TestFestive:
+    def test_category(self):
+        assert Festive.category == THROUGHPUT_BASED
+
+    def test_moves_one_level_at_a_time(self, manifest):
+        abr = Festive()
+        for _ in range(5):
+            abr.on_chunk_downloaded(chunk(mbps(10.0)))
+        level = abr.choose_level(ctx(manifest, current_level=0))
+        assert level <= 1
+
+    def test_upswitch_requires_sustained_evidence(self, manifest):
+        """Switching up from level k needs k+1 consecutive chunks of
+        headroom."""
+        abr = Festive()
+        for _ in range(5):
+            abr.on_chunk_downloaded(chunk(mbps(10.0)))
+        # From level 2 the first two calls hold, the third switches.
+        assert abr.choose_level(ctx(manifest, current_level=2)) == 2
+        assert abr.choose_level(ctx(manifest, current_level=2)) == 2
+        assert abr.choose_level(ctx(manifest, current_level=2)) == 3
+
+    def test_downswitch_immediate(self, manifest):
+        abr = Festive()
+        for _ in range(5):
+            abr.on_chunk_downloaded(chunk(mbps(0.3)))
+        assert abr.choose_level(ctx(manifest, current_level=3)) == 2
+
+    def test_efficiency_headroom(self, manifest):
+        """Estimate 4.2 Mbps: raw selection would be level 5 (3.94) but
+        0.85 * 4.2 = 3.57 only sustains level 4 (2.41)."""
+        abr = Festive()
+        for _ in range(5):
+            abr.on_chunk_downloaded(chunk(mbps(4.2)))
+        target = abr._target_level(ctx(manifest, current_level=3))
+        assert target == 3  # level index 3 = 2.41 Mbps
+
+    def test_harmonic_mean_discounts_spikes(self, manifest):
+        abr = Festive()
+        for throughput in [mbps(1.0)] * 4 + [mbps(100.0)]:
+            abr.on_chunk_downloaded(chunk(throughput))
+        target = abr._target_level(ctx(manifest, current_level=0))
+        assert target <= 1
+
+    def test_override_replaces_harmonic_mean(self, manifest):
+        abr = Festive()
+        for _ in range(5):
+            abr.on_chunk_downloaded(chunk(mbps(0.3)))
+        level = abr.choose_level(ctx(manifest, current_level=2,
+                                     override=mbps(10.0)))
+        assert level >= 2  # override says the network is fine
+
+    def test_reset_clears_state(self, manifest):
+        abr = Festive()
+        for _ in range(5):
+            abr.on_chunk_downloaded(chunk(mbps(10.0)))
+        abr.reset()
+        assert abr._estimator.predict() is None
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            Festive(efficiency=1.5)

@@ -1,0 +1,189 @@
+"""Tests for the MP-DASH video adapter (§5)."""
+
+import pytest
+
+from repro.abr import Bba, Festive, make_abr
+from repro.core.adapter import MpDashAdapter
+from repro.core.policy import prefer_wifi
+from repro.core.socket_api import MpDashSocket
+from repro.dash.http import HttpClient
+from repro.dash.media import VideoAsset
+from repro.dash.player import DashPlayer
+from repro.dash.server import DashServer
+from repro.mptcp.connection import MptcpConnection
+from repro.net.link import cellular_path, wifi_path
+from repro.net.simulator import Simulator
+from repro.net.units import mbps, megabytes
+
+
+def make_player(abr, wifi=8.0, lte=8.0, deadline_mode="rate",
+                buffer_capacity=40.0, **adapter_kwargs):
+    sim = Simulator()
+    conn = MptcpConnection(sim, [wifi_path(bandwidth_mbps=wifi),
+                                 cellular_path(bandwidth_mbps=lte)])
+    socket = MpDashSocket(conn, prefer_wifi())
+    adapter = MpDashAdapter(socket, deadline_mode=deadline_mode,
+                            **adapter_kwargs)
+    server = DashServer()
+    server.host(VideoAsset.generate("m", 4.0, 120.0,
+                                    [0.58, 1.01, 1.47, 2.41, 3.94], seed=0))
+    client = HttpClient(conn, server.resolve)
+    player = DashPlayer(sim, client, server.manifest("m"), abr,
+                        addon=adapter, buffer_capacity=buffer_capacity)
+    return sim, conn, socket, adapter, player
+
+
+def warm_socket(sim, conn):
+    """Generate traffic so the transport estimators are warm."""
+    conn.start_transfer(megabytes(2))
+    sim.run(until=8.0)
+
+
+class TestThresholds:
+    def test_phi_throughput_based(self):
+        _sim, _conn, _socket, adapter, player = make_player(Festive())
+        assert adapter.phi(player) == pytest.approx(0.8 * 40.0)
+
+    def test_phi_buffer_based(self):
+        _sim, _conn, _socket, adapter, player = make_player(Bba())
+        assert adapter.phi(player) == pytest.approx(40.0 - 4.0)
+
+    def test_phi_override(self):
+        _sim, _conn, _socket, adapter, player = make_player(
+            Festive(), phi_fraction=0.5)
+        assert adapter.phi(player) == pytest.approx(20.0)
+
+    def test_omega_floor_without_estimate(self):
+        """No transport estimate yet: supplied content is 0, so Omega is
+        the full consumption window — MP-DASH stays off."""
+        _sim, _conn, _socket, adapter, player = make_player(Festive())
+        assert adapter.omega_throughput_based(player) == pytest.approx(80.0)
+
+    def test_omega_with_ample_estimate_hits_floor(self):
+        sim, conn, _socket, adapter, player = make_player(Festive())
+        warm_socket(sim, conn)
+        # 16 Mbps against a 0.58 Mbps lowest level: T' >> T, floor applies.
+        assert adapter.omega_throughput_based(player) == pytest.approx(
+            0.4 * 40.0)
+
+    def test_omega_buffer_based_uses_level_map(self):
+        _sim, _conn, _socket, adapter, player = make_player(Bba())
+        omega = adapter.omega_buffer_based(player, level=3)
+        low, _ = player.abr.level_buffer_range(3, 40.0,
+                                               player.manifest.bitrates())
+        assert omega == pytest.approx(low + 4.0)
+
+
+class TestArming:
+    def test_not_armed_during_startup(self):
+        _sim, _conn, _socket, adapter, player = make_player(Festive())
+        assert adapter.on_chunk_request(player, 0, 1e6) is None
+        assert adapter.skipped_count == 1
+
+    def test_armed_when_buffer_healthy(self):
+        sim, conn, socket, adapter, player = make_player(Festive())
+        warm_socket(sim, conn)
+        player._playing = True
+        player.buffer.add(30.0)
+        deadline = adapter.on_chunk_request(player, 4, 2e6)
+        assert deadline is not None
+        assert adapter.armed_count == 1
+
+    def test_skipped_below_omega(self):
+        sim, conn, socket, adapter, player = make_player(Festive())
+        warm_socket(sim, conn)
+        player._playing = True
+        player.buffer.add(10.0)  # below the 16s floor
+        assert adapter.on_chunk_request(player, 4, 2e6) is None
+
+    def test_skip_disables_active_socket(self):
+        sim, conn, socket, adapter, player = make_player(Festive())
+        warm_socket(sim, conn)
+        player._playing = True
+        player.buffer.add(30.0)
+        adapter.on_chunk_request(player, 4, 2e6)
+        player.buffer.drain(25.0)
+        adapter.on_chunk_request(player, 4, 2e6)
+        assert not socket.scheduler.active
+        assert not socket.scheduler._pending
+
+
+class TestDeadlines:
+    def test_rate_based_deadline(self):
+        sim, conn, socket, adapter, player = make_player(
+            Festive(), deadline_mode="rate")
+        warm_socket(sim, conn)
+        player._playing = True
+        player.buffer.add(20.0)  # below phi: no extension
+        size = mbps(3.94) * 4.0
+        deadline = adapter.on_chunk_request(player, 4, size)
+        assert deadline == pytest.approx(4.0)
+
+    def test_duration_based_deadline(self):
+        sim, conn, socket, adapter, player = make_player(
+            Festive(), deadline_mode="duration")
+        warm_socket(sim, conn)
+        player._playing = True
+        player.buffer.add(20.0)
+        deadline = adapter.on_chunk_request(player, 4, 123456.0)
+        assert deadline == pytest.approx(4.0)
+
+    def test_extension_above_phi(self):
+        sim, conn, socket, adapter, player = make_player(
+            Festive(), deadline_mode="duration")
+        warm_socket(sim, conn)
+        player._playing = True
+        player.buffer.add(36.0)  # phi is 32
+        deadline = adapter.on_chunk_request(player, 4, 123456.0)
+        assert deadline == pytest.approx(4.0 + 4.0)
+
+    def test_extension_disabled(self):
+        sim, conn, socket, adapter, player = make_player(
+            Festive(), deadline_mode="duration", extension_enabled=False)
+        warm_socket(sim, conn)
+        player._playing = True
+        player.buffer.add(36.0)
+        deadline = adapter.on_chunk_request(player, 4, 123456.0)
+        assert deadline == pytest.approx(4.0)
+
+
+class TestBufferBasedGuard:
+    def test_armed_only_at_sustainable_top(self):
+        sim, conn, socket, adapter, player = make_player(Bba())
+        warm_socket(sim, conn)  # estimate ~16 Mbps: level 4 sustainable
+        player._playing = True
+        player.buffer.add(39.0)
+        assert adapter.on_chunk_request(player, 4, 2e6) is not None
+        # Requesting a lower-than-sustainable level: not armed.
+        player.buffer.drain(0.1)
+        assert adapter.on_chunk_request(player, 2, 2e6) is None
+
+    def test_not_armed_without_estimate(self):
+        _sim, _conn, _socket, adapter, player = make_player(Bba())
+        player._playing = True
+        player.buffer.add(39.0)
+        assert adapter.on_chunk_request(player, 4, 2e6) is None
+
+
+class TestOverride:
+    def test_override_reports_aggregate(self):
+        sim, conn, socket, adapter, player = make_player(Festive())
+        warm_socket(sim, conn)
+        assert adapter.throughput_override(player) == pytest.approx(
+            conn.aggregate_throughput_estimate())
+
+    def test_override_none_before_traffic(self):
+        _sim, _conn, _socket, adapter, player = make_player(Festive())
+        assert adapter.throughput_override(player) is None
+
+
+class TestEndToEnd:
+    def test_full_session_arms_most_chunks(self):
+        sim, _conn, socket, adapter, player = make_player(Festive(),
+                                                          wifi=6.0, lte=6.0)
+        player.start()
+        while not player.finished and sim.now < 400.0:
+            sim.run(until=sim.now + 5.0)
+        assert player.finished
+        assert adapter.armed_count > adapter.skipped_count
+        assert socket.scheduler.deadline_misses == 0

@@ -1,0 +1,87 @@
+"""Tests for the multipath video analyzer."""
+
+import pytest
+
+from repro.analysis.analyzer import MultipathVideoAnalyzer
+from repro.dash.events import ChunkRecord, PlayerEventLog
+from repro.mptcp.activity import ActivityLog
+
+
+def make_inputs():
+    activity = ActivityLog(0.5)
+    log = PlayerEventLog()
+    # Two chunks: one pure WiFi, one mixed.
+    for t in (0.0, 0.5, 1.0):
+        activity.record(t, "wifi", 500_000.0)
+    for t in (10.0, 10.5):
+        activity.record(t, "wifi", 400_000.0)
+        activity.record(t, "cellular", 100_000.0)
+    log.record_chunk(ChunkRecord(
+        index=0, level=4, size=1_500_000, duration=4.0, requested_at=0.0,
+        completed_at=1.5, throughput=1e6,
+        bytes_per_path={"wifi": 1_500_000.0}))
+    log.record_chunk(ChunkRecord(
+        index=1, level=3, size=1_000_000, duration=4.0, requested_at=10.0,
+        completed_at=11.0, throughput=1e6,
+        bytes_per_path={"wifi": 800_000.0, "cellular": 200_000.0}))
+    return activity, log
+
+
+class TestAnalyzer:
+    def test_chunk_views_carry_cellular_fraction(self):
+        activity, log = make_inputs()
+        analyzer = MultipathVideoAnalyzer(activity, log, 20.0)
+        views = analyzer.chunk_views()
+        assert len(views) == 2
+        assert views[0].cellular_fraction == 0.0
+        assert views[1].cellular_fraction == pytest.approx(0.2)
+        assert views[1].level == 3
+
+    def test_idle_gaps_found(self):
+        activity, log = make_inputs()
+        analyzer = MultipathVideoAnalyzer(activity, log, 20.0)
+        gaps = analyzer.idle_gaps(min_duration=1.0)
+        # Idle between ~1.5 and 10, and from 11 to 20.
+        assert len(gaps) == 2
+        assert gaps[0].start == pytest.approx(1.5, abs=0.5)
+        assert gaps[0].end == pytest.approx(10.0, abs=0.5)
+        assert gaps[1].end == 20.0
+
+    def test_idle_gap_entire_session_when_no_traffic(self):
+        analyzer = MultipathVideoAnalyzer(ActivityLog(), PlayerEventLog(),
+                                          30.0)
+        gaps = analyzer.idle_gaps()
+        assert len(gaps) == 1
+        assert gaps[0].duration == 30.0
+
+    def test_utilization_per_path(self):
+        activity, log = make_inputs()
+        analyzer = MultipathVideoAnalyzer(activity, log, 20.0)
+        utilization = analyzer.utilization()
+        assert utilization["wifi"] > utilization["cellular"]
+
+    def test_throughput_timeline(self):
+        activity, log = make_inputs()
+        analyzer = MultipathVideoAnalyzer(activity, log, 20.0)
+        times, rates = analyzer.throughput_timeline("wifi")
+        assert len(times) == len(rates)
+        assert max(rates) == pytest.approx(1_000_000.0)
+
+    def test_aggregate_timeline_sums_paths(self):
+        activity, log = make_inputs()
+        analyzer = MultipathVideoAnalyzer(activity, log, 20.0)
+        _t, aggregate = analyzer.aggregate_timeline()
+        _t, wifi = analyzer.throughput_timeline("wifi")
+        _t, cellular = analyzer.throughput_timeline("cellular")
+        assert aggregate[20] == pytest.approx(wifi[20] + cellular[20])
+
+    def test_metrics_round_trip(self):
+        activity, log = make_inputs()
+        analyzer = MultipathVideoAnalyzer(activity, log, 20.0)
+        metrics = analyzer.metrics()
+        assert metrics.cellular_bytes == pytest.approx(200_000.0)
+        assert metrics.radio_energy > 0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            MultipathVideoAnalyzer(ActivityLog(), PlayerEventLog(), 0.0)

@@ -1,0 +1,87 @@
+"""Tests for the playback buffer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dash.buffer import PlaybackBuffer
+
+
+class TestBasics:
+    def test_starts_empty(self):
+        buf = PlaybackBuffer(40.0)
+        assert buf.level == 0.0
+        assert buf.empty
+        assert buf.free == 40.0
+
+    def test_add_and_drain(self):
+        buf = PlaybackBuffer(40.0)
+        buf.add(4.0)
+        assert buf.level == 4.0
+        played = buf.drain(1.5)
+        assert played == 1.5
+        assert buf.level == pytest.approx(2.5)
+
+    def test_drain_stops_at_empty(self):
+        buf = PlaybackBuffer(40.0)
+        buf.add(2.0)
+        played = buf.drain(5.0)
+        assert played == 2.0
+        assert buf.empty
+
+    def test_total_played_accumulates(self):
+        buf = PlaybackBuffer(40.0)
+        buf.add(4.0)
+        buf.drain(1.0)
+        buf.drain(1.0)
+        assert buf.total_played == 2.0
+
+    def test_overflow_rejected(self):
+        buf = PlaybackBuffer(8.0)
+        buf.add(4.0)
+        buf.add(4.0)
+        with pytest.raises(ValueError):
+            buf.add(4.0)
+
+    def test_fits(self):
+        buf = PlaybackBuffer(8.0)
+        buf.add(4.0)
+        assert buf.fits(4.0)
+        assert not buf.fits(4.1)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            PlaybackBuffer(0.0)
+        buf = PlaybackBuffer(10.0)
+        with pytest.raises(ValueError):
+            buf.add(0.0)
+        with pytest.raises(ValueError):
+            buf.drain(-1.0)
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.booleans(),
+                              st.floats(min_value=0.01, max_value=5.0)),
+                    max_size=100))
+    @settings(max_examples=100, deadline=None)
+    def test_level_always_within_bounds(self, operations):
+        buf = PlaybackBuffer(20.0)
+        for is_add, amount in operations:
+            if is_add:
+                if buf.fits(amount):
+                    buf.add(amount)
+            else:
+                buf.drain(amount)
+            assert 0.0 <= buf.level <= buf.capacity + 1e-9
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=3.0), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_conservation(self, adds):
+        """Everything added is either in the buffer or was played."""
+        buf = PlaybackBuffer(1000.0)
+        total_added = 0.0
+        for amount in adds:
+            buf.add(amount)
+            total_added += amount
+            buf.drain(amount / 2)
+        assert buf.level + buf.total_played == pytest.approx(total_added)

@@ -1,0 +1,60 @@
+"""Tests for CDF helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.cdf import (empirical_cdf, fraction_at_most, percentile,
+                                quartile_summary)
+
+
+class TestEmpiricalCdf:
+    def test_sorted_with_probabilities(self):
+        xs, ps = empirical_cdf([3.0, 1.0, 2.0])
+        assert xs == [1.0, 2.0, 3.0]
+        assert ps == [pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_cdf([])
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1,
+                    max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_probabilities_monotone_ending_at_one(self, values):
+        xs, ps = empirical_cdf(values)
+        assert xs == sorted(values)
+        assert ps == sorted(ps)
+        assert ps[-1] == 1.0
+
+
+class TestPercentiles:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_bounds(self):
+        values = [5.0, 1.0, 9.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 9.0
+
+    def test_quartile_summary(self):
+        q25, q50, q75 = quartile_summary(list(range(101)))
+        assert (q25, q50, q75) == (25.0, 50.0, 75.0)
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestFractionAtMost:
+    def test_basic(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_at_most(values, 2.5) == 0.5
+        assert fraction_at_most(values, 0.0) == 0.0
+        assert fraction_at_most(values, 10.0) == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_at_most([], 1.0)

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_stream_defaults(self):
+        args = build_parser().parse_args(["stream"])
+        assert args.video == "big_buck_bunny"
+        assert args.abr == "festive"
+        assert not args.mpdash
+
+    def test_unknown_abr_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["stream", "--abr", "nope"])
+
+    def test_download_args(self):
+        args = build_parser().parse_args(
+            ["download", "--size-mb", "7", "--deadline", "12"])
+        assert args.size_mb == 7.0
+        assert args.deadline == 12.0
+
+
+class TestCommands:
+    def test_videos_lists_table3(self, capsys):
+        assert main(["videos"]) == 0
+        out = capsys.readouterr().out
+        assert "big_buck_bunny" in out
+        assert "tears_of_steel_hd" in out
+        assert "3.94" in out
+
+    def test_locations_lists_catalog(self, capsys):
+        assert main(["locations"]) == 0
+        out = capsys.readouterr().out
+        assert "hotel_hi" in out
+        assert out.count("\n") > 33
+
+    def test_download_runs(self, capsys):
+        assert main(["download", "--size-mb", "2", "--deadline", "8",
+                     "--wifi", "4", "--lte", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "deadline met" in out
+        assert "True" in out
+
+    def test_stream_runs_short_session(self, capsys):
+        assert main(["stream", "--abr", "gpac", "--duration", "60",
+                     "--wifi", "8", "--lte", "8", "--mpdash"]) == 0
+        out = capsys.readouterr().out
+        assert "cellular MB" in out
+        assert "stalls" in out
+
+    def test_stream_visualize(self, capsys):
+        assert main(["stream", "--abr", "gpac", "--duration", "60",
+                     "--wifi", "8", "--lte", "8", "--visualize"]) == 0
+        out = capsys.readouterr().out
+        assert "levels:" in out  # the chunk-strip legend
+
+    def test_compare_runs(self, capsys):
+        assert main(["compare", "--abr", "gpac", "--duration", "60",
+                     "--wifi", "6", "--lte", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out
+        assert "rate" in out
+        assert "cell saved" in out

@@ -1,0 +1,192 @@
+"""Tests for the deadline-aware scheduler (Algorithm 1)."""
+
+import pytest
+
+from repro.core.policy import Preference, prefer_wifi
+from repro.core.scheduler import DeadlineAwareScheduler
+from repro.mptcp.connection import MptcpConnection
+from repro.net.link import Path, cellular_path, wifi_path
+from repro.net.simulator import Simulator
+from repro.net.trace import BandwidthTrace
+from repro.net.units import mbps, megabytes
+
+
+def make_setup(wifi=8.0, lte=8.0, alpha=1.0, signaling_delay=0.0):
+    sim = Simulator()
+    paths = [wifi_path(bandwidth_mbps=wifi),
+             cellular_path(bandwidth_mbps=lte)]
+    conn = MptcpConnection(sim, paths, signaling_delay=signaling_delay)
+    scheduler = DeadlineAwareScheduler(prefer_wifi(), alpha=alpha)
+    conn.controller = scheduler
+    return sim, conn, scheduler
+
+
+class TestValidation:
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            DeadlineAwareScheduler(prefer_wifi(), alpha=0.0)
+        with pytest.raises(ValueError):
+            DeadlineAwareScheduler(prefer_wifi(), alpha=1.5)
+
+    def test_arm_validates_inputs(self):
+        scheduler = DeadlineAwareScheduler(prefer_wifi())
+        with pytest.raises(ValueError):
+            scheduler.arm(0, 1.0)
+        with pytest.raises(ValueError):
+            scheduler.arm(100, 0)
+
+    def test_unknown_connection_path_rejected(self):
+        sim = Simulator()
+        paths = [Path("satellite", BandwidthTrace.constant(1e6), rtt=0.3)]
+        conn = MptcpConnection(sim, paths)
+        scheduler = DeadlineAwareScheduler(prefer_wifi())
+        conn.controller = scheduler
+        scheduler.arm(megabytes(1), 10.0)
+        conn.start_transfer(megabytes(1))
+        with pytest.raises(KeyError):
+            sim.run(until=10.0)
+
+
+class TestCellularAvoidance:
+    def test_cellular_unused_when_wifi_sufficient(self):
+        """Generous deadline: the whole file fits on WiFi alone."""
+        sim, conn, scheduler = make_setup(wifi=8.0, lte=8.0)
+        scheduler.arm(megabytes(2), 10.0)
+        transfer = conn.start_transfer(megabytes(2))
+        sim.run(until=30.0)
+        assert transfer.complete
+        # A tiny sliver may pass before the first disable decision.
+        assert transfer.per_path.get("cellular", 0.0) < megabytes(2) * 0.05
+        assert scheduler.deadline_misses == 0
+
+    def test_cellular_used_when_wifi_insufficient(self):
+        """Tight deadline: WiFi alone cannot make it."""
+        sim, conn, scheduler = make_setup(wifi=3.8, lte=3.0)
+        # 5 MB over 3.8 Mbps alone needs ~10.5s; deadline 8s.
+        scheduler.arm(megabytes(5), 8.0)
+        transfer = conn.start_transfer(megabytes(5))
+        sim.run(until=30.0)
+        assert transfer.complete
+        assert transfer.per_path["cellular"] > 0
+        assert transfer.finished_at - transfer.started_at <= 8.5
+
+    def test_longer_deadline_less_cellular(self):
+        used = {}
+        for deadline in (8.0, 10.0):
+            sim, conn, scheduler = make_setup(wifi=3.8, lte=3.0)
+            scheduler.arm(megabytes(5), deadline)
+            transfer = conn.start_transfer(megabytes(5))
+            sim.run(until=40.0)
+            used[deadline] = transfer.per_path.get("cellular", 0.0)
+        assert used[10.0] < used[8.0]
+
+    def test_smaller_alpha_more_cellular(self):
+        used = {}
+        for alpha in (0.8, 1.0):
+            sim, conn, scheduler = make_setup(wifi=3.8, lte=3.0, alpha=alpha)
+            scheduler.arm(megabytes(5), 10.0)
+            transfer = conn.start_transfer(megabytes(5))
+            sim.run(until=40.0)
+            used[alpha] = transfer.per_path.get("cellular", 0.0)
+        assert used[0.8] > used[1.0]
+
+    def test_cellular_reenabled_on_wifi_collapse(self):
+        """WiFi drops mid-transfer; the scheduler brings cellular back."""
+        sim = Simulator()
+        wifi_trace = BandwidthTrace.from_samples(
+            [mbps(8.0)] * 20 + [mbps(0.5)] * 200, 0.1, loop=False)
+        paths = [wifi_path(trace=wifi_trace),
+                 cellular_path(bandwidth_mbps=8.0)]
+        conn = MptcpConnection(sim, paths, signaling_delay=0.0)
+        scheduler = DeadlineAwareScheduler(prefer_wifi())
+        conn.controller = scheduler
+        scheduler.arm(megabytes(5), 8.0)
+        transfer = conn.start_transfer(megabytes(5))
+        sim.run(until=30.0)
+        assert transfer.complete
+        assert transfer.per_path["cellular"] > megabytes(1)
+
+
+class TestLifecycle:
+    def test_deactivates_after_transfer(self):
+        sim, conn, scheduler = make_setup()
+        scheduler.arm(megabytes(1), 10.0)
+        conn.start_transfer(megabytes(1))
+        sim.run(until=30.0)
+        assert not scheduler.active
+        assert scheduler.activations == 1
+
+    def test_deadline_miss_deactivates_and_opens_paths(self):
+        sim, conn, scheduler = make_setup(wifi=0.8, lte=0.8)
+        # 5 MB over 1.6 Mbps combined takes ~25s; deadline 2s must be missed.
+        scheduler.arm(megabytes(5), 2.0)
+        transfer = conn.start_transfer(megabytes(5))
+        sim.run(until=60.0)
+        assert transfer.complete
+        assert scheduler.deadline_misses == 1
+        assert not scheduler.active
+        assert conn.path_state("cellular") is True
+
+    def test_disarm_cancels_pending(self):
+        sim, conn, scheduler = make_setup()
+        scheduler.arm(megabytes(1), 10.0)
+        scheduler.disarm()
+        conn.start_transfer(megabytes(1))
+        sim.run(until=30.0)
+        assert scheduler.activations == 0
+
+    def test_only_armed_transfers_are_controlled(self):
+        sim, conn, scheduler = make_setup(wifi=8.0, lte=8.0)
+        transfer = conn.start_transfer(megabytes(2))  # never armed
+        sim.run(until=30.0)
+        assert transfer.per_path["cellular"] > 0  # vanilla MPTCP behaviour
+
+    def test_arm_applies_to_next_transfer_only(self):
+        sim, conn, scheduler = make_setup(wifi=8.0, lte=8.0)
+        scheduler.arm(megabytes(2), 20.0)
+        first = conn.start_transfer(megabytes(2))
+        second = conn.start_transfer(megabytes(2))
+        sim.run(until=60.0)
+        assert first.per_path.get("cellular", 0.0) < megabytes(2) * 0.05
+        assert second.per_path.get("cellular", 0.0) > 0
+
+
+class TestNPathGeneralization:
+    def test_three_paths_filled_in_cost_order(self):
+        sim = Simulator()
+        paths = [
+            Path("wifi", BandwidthTrace.constant(mbps(2.0)), rtt=0.05),
+            Path("cellular", BandwidthTrace.constant(mbps(2.0)), rtt=0.055),
+            Path("satellite", BandwidthTrace.constant(mbps(10.0)), rtt=0.3),
+        ]
+        conn = MptcpConnection(sim, paths, signaling_delay=0.0)
+        pref = Preference(["wifi", "cellular", "satellite"],
+                          {"wifi": 0.0, "cellular": 1.0, "satellite": 10.0})
+        scheduler = DeadlineAwareScheduler(pref)
+        conn.controller = scheduler
+        # 4 MB in 12s: WiFi alone (2 Mbps -> 3 MB) is short, WiFi+cellular
+        # (4 Mbps -> 6 MB) suffices, satellite should stay off.
+        scheduler.arm(megabytes(4), 12.0)
+        transfer = conn.start_transfer(megabytes(4))
+        sim.run(until=40.0)
+        assert transfer.complete
+        assert transfer.per_path["cellular"] > 0
+        assert transfer.per_path.get("satellite", 0.0) < megabytes(4) * 0.05
+
+    def test_costliest_path_used_when_needed(self):
+        sim = Simulator()
+        paths = [
+            Path("wifi", BandwidthTrace.constant(mbps(1.0)), rtt=0.05),
+            Path("cellular", BandwidthTrace.constant(mbps(1.0)), rtt=0.055),
+            Path("satellite", BandwidthTrace.constant(mbps(20.0)), rtt=0.3),
+        ]
+        conn = MptcpConnection(sim, paths, signaling_delay=0.0)
+        pref = Preference(["wifi", "cellular", "satellite"])
+        scheduler = DeadlineAwareScheduler(pref)
+        conn.controller = scheduler
+        # 8 MB in 5s needs ~12.8 Mbps: only satellite provides that.
+        scheduler.arm(megabytes(8), 5.0)
+        transfer = conn.start_transfer(megabytes(8))
+        sim.run(until=60.0)
+        assert transfer.complete
+        assert transfer.per_path["satellite"] > megabytes(4)

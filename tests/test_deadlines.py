@@ -1,0 +1,78 @@
+"""Tests for deadline computation and extension."""
+
+import pytest
+
+from repro.core.deadlines import (DURATION_BASED, RATE_BASED,
+                                  compute_deadline, duration_based_deadline,
+                                  extend_deadline, rate_based_deadline)
+from repro.net.units import mbps
+
+
+class TestDurationBased:
+    def test_equals_chunk_duration(self):
+        assert duration_based_deadline(4.0) == 4.0
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            duration_based_deadline(0.0)
+
+
+class TestRateBased:
+    def test_paper_example(self):
+        """A 1 MB chunk at a 4 Mbps level gets 1*8/4 = 2 seconds."""
+        assert rate_based_deadline(1_000_000, mbps(4.0)) == pytest.approx(2.0)
+
+    def test_bigger_chunk_longer_deadline(self):
+        assert rate_based_deadline(2e6, mbps(4.0)) > rate_based_deadline(
+            1e6, mbps(4.0))
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            rate_based_deadline(0.0, mbps(4.0))
+        with pytest.raises(ValueError):
+            rate_based_deadline(1e6, 0.0)
+
+
+class TestDispatch:
+    def test_duration_mode(self):
+        assert compute_deadline(DURATION_BASED, 1e6, 4.0, mbps(4.0)) == 4.0
+
+    def test_rate_mode(self):
+        assert compute_deadline(RATE_BASED, 1e6, 4.0,
+                                mbps(4.0)) == pytest.approx(2.0)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            compute_deadline("bogus", 1e6, 4.0, mbps(4.0))
+
+    def test_rate_based_budgets_big_chunks_proportionally(self):
+        """Average chunks get D=duration under both; a 2x chunk gets 2x the
+        window under rate-based but only 1x under duration-based — the
+        mechanism behind Figure 8's comparison."""
+        nominal = mbps(4.0)
+        average_size = nominal * 4.0
+        big_size = 2 * average_size
+        assert compute_deadline(RATE_BASED, average_size, 4.0,
+                                nominal) == pytest.approx(4.0)
+        assert compute_deadline(RATE_BASED, big_size, 4.0,
+                                nominal) == pytest.approx(8.0)
+        assert compute_deadline(DURATION_BASED, big_size, 4.0,
+                                nominal) == 4.0
+
+
+class TestExtension:
+    def test_no_extension_below_phi(self):
+        assert extend_deadline(4.0, buffer_level=10.0, phi=32.0) == 4.0
+
+    def test_extension_above_phi(self):
+        assert extend_deadline(4.0, buffer_level=36.0,
+                               phi=32.0) == pytest.approx(8.0)
+
+    def test_extension_exactly_at_phi(self):
+        assert extend_deadline(4.0, buffer_level=32.0, phi=32.0) == 4.0
+
+    def test_invalid_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            extend_deadline(0.0, 10.0, 32.0)
+        with pytest.raises(ValueError):
+            extend_deadline(4.0, 10.0, -1.0)

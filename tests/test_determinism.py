@@ -1,0 +1,101 @@
+"""Determinism and conservation invariants across the whole stack.
+
+The paper's energy methodology depends on determinism: "given the same
+network condition, MP-DASH incurs deterministic traffic pattern, which
+allows us to replay the trace under different power models".  These tests
+pin that property for the reproduction, plus byte-conservation invariants
+that must hold for any configuration.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.energy import GALAXY_NOTE, GALAXY_S3, session_energy
+from repro.experiments import SessionConfig, run_session
+from repro.net.link import CELLULAR, WIFI
+
+
+def short_config(**kwargs):
+    defaults = dict(video="big_buck_bunny", abr="festive", mpdash=True,
+                    deadline_mode="rate", wifi_mbps=3.8, lte_mbps=3.0,
+                    video_duration=80.0)
+    defaults.update(kwargs)
+    return SessionConfig(**defaults)
+
+
+class TestDeterminism:
+    def test_identical_runs_identical_traffic(self):
+        a = run_session(short_config())
+        b = run_session(short_config())
+        assert a.metrics.cellular_bytes == b.metrics.cellular_bytes
+        assert a.metrics.wifi_bytes == b.metrics.wifi_bytes
+        assert [c.level for c in a.player.log.chunks] == \
+            [c.level for c in b.player.log.chunks]
+        assert a.session_duration == b.session_duration
+
+    def test_trace_replay_under_different_power_models(self):
+        """The same session re-costed for another device — the paper's
+        replay methodology — needs only the activity log."""
+        result = run_session(short_config())
+        note = session_energy(result.connection.activity, GALAXY_NOTE,
+                              result.session_duration)
+        s3 = session_energy(result.connection.activity, GALAXY_S3,
+                            result.session_duration)
+        assert note["total"].total != s3["total"].total
+        assert s3["total"].total == pytest.approx(note["total"].total,
+                                                  rel=0.3)
+
+    def test_device_choice_does_not_change_traffic(self):
+        a = run_session(short_config(device="galaxy_note"))
+        b = run_session(short_config(device="galaxy_s3"))
+        assert a.metrics.cellular_bytes == b.metrics.cellular_bytes
+        assert a.metrics.radio_energy != b.metrics.radio_energy
+
+
+class TestConservation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(),
+        dict(mpdash=False),
+        dict(abr="bba", deadline_mode="duration"),
+        dict(abr="mpc"),
+        dict(mptcp_scheduler="roundrobin"),
+    ])
+    def test_bytes_conserved_end_to_end(self, kwargs):
+        """Chunk sizes == per-chunk path bytes == transport totals =="""
+        result = run_session(short_config(**kwargs))
+        chunks = result.player.log.chunks
+        chunk_total = sum(c.size for c in chunks)
+        per_path_total = sum(sum(c.bytes_per_path.values()) for c in chunks)
+        transport_total = sum(sf.total_bytes
+                              for sf in result.connection.subflows)
+        activity_total = sum(
+            result.connection.activity.total_bytes(p)
+            for p in result.connection.activity.paths())
+        assert per_path_total == pytest.approx(chunk_total, rel=1e-3)
+        assert transport_total == pytest.approx(chunk_total, rel=1e-3)
+        assert activity_total == pytest.approx(transport_total, rel=1e-6)
+
+    def test_playback_conserved(self):
+        result = run_session(short_config())
+        assert result.player.buffer.total_played == pytest.approx(
+            result.config.video_duration, abs=0.5)
+
+    def test_metrics_paths_are_known_interfaces(self):
+        result = run_session(short_config())
+        assert set(result.metrics.bytes_per_path) <= {WIFI, CELLULAR}
+
+
+class TestConfigSweepTermination:
+    @given(wifi=st.floats(min_value=1.0, max_value=30.0),
+           lte=st.floats(min_value=0.5, max_value=20.0),
+           alpha=st.floats(min_value=0.2, max_value=1.0))
+    @settings(max_examples=8, deadline=None)
+    def test_any_reasonable_config_terminates_cleanly(self, wifi, lte,
+                                                      alpha):
+        result = run_session(short_config(
+            wifi_mbps=round(wifi, 2), lte_mbps=round(lte, 2),
+            alpha=round(alpha, 2), video_duration=40.0))
+        assert result.finished
+        assert result.metrics.total_bytes > 0
+        assert result.metrics.radio_energy > 0

@@ -1,0 +1,133 @@
+"""Tests for the radio energy model."""
+
+import pytest
+
+from repro.energy.devices import DEVICES, GALAXY_NOTE, GALAXY_S3
+from repro.energy.model import (EnergyBreakdown, interface_energy,
+                                session_energy)
+from repro.mptcp.activity import ActivityLog
+
+
+def burst(log, start, duration, rate_bytes_per_s=1e6, path="cellular",
+          bin_width=0.1):
+    t = start
+    while t < start + duration - 1e-9:
+        log.record(t, path, rate_bytes_per_s * bin_width)
+        t += bin_width
+
+
+class TestProfiles:
+    def test_active_power_scales_with_throughput(self):
+        lte = GALAXY_NOTE.lte
+        assert lte.active_power(10.0) > lte.active_power(1.0)
+        assert lte.active_power(0.0) == lte.active_base
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ValueError):
+            GALAXY_NOTE.lte.active_power(-1.0)
+
+    def test_interface_lookup(self):
+        assert GALAXY_NOTE.for_interface("cellular") is GALAXY_NOTE.lte
+        assert GALAXY_NOTE.for_interface("wifi") is GALAXY_NOTE.wifi
+        with pytest.raises(KeyError):
+            GALAXY_NOTE.for_interface("bluetooth")
+
+    def test_lte_costs_more_than_wifi(self):
+        """The premise of preferring WiFi: LTE burns far more power."""
+        assert GALAXY_NOTE.lte.active_power(5.0) > \
+            GALAXY_NOTE.wifi.active_power(5.0)
+        assert GALAXY_NOTE.lte.tail_time > GALAXY_NOTE.wifi.tail_time
+
+    def test_devices_registry(self):
+        assert DEVICES["galaxy_note"] is GALAXY_NOTE
+        assert DEVICES["galaxy_s3"] is GALAXY_S3
+
+
+class TestInterfaceEnergy:
+    def test_idle_only_session(self):
+        log = ActivityLog(0.1)
+        breakdown = interface_energy(log, "cellular", GALAXY_NOTE.lte, 100.0)
+        assert breakdown.active == 0.0
+        assert breakdown.tail == 0.0
+        assert breakdown.idle == pytest.approx(100.0 *
+                                               GALAXY_NOTE.lte.idle_power)
+
+    def test_single_burst_charges_all_states(self):
+        log = ActivityLog(0.1)
+        burst(log, 10.0, 2.0)
+        profile = GALAXY_NOTE.lte
+        breakdown = interface_energy(log, "cellular", profile, 100.0)
+        assert breakdown.active > 0
+        assert breakdown.tail == pytest.approx(
+            profile.tail_time * profile.tail_power, rel=0.01)
+        assert breakdown.promotion == profile.promotion_energy
+        expected_idle = (10.0 + (100.0 - 12.0 - profile.tail_time)) * \
+            profile.idle_power
+        assert breakdown.idle == pytest.approx(expected_idle, rel=0.05)
+
+    def test_gap_shorter_than_tail_stays_promoted(self):
+        log = ActivityLog(0.1)
+        burst(log, 0.0, 1.0)
+        burst(log, 5.0, 1.0)  # 4s gap < 11.6s tail
+        profile = GALAXY_NOTE.lte
+        breakdown = interface_energy(log, "cellular", profile, 30.0)
+        # Only one promotion; the gap is all tail.
+        assert breakdown.promotion == profile.promotion_energy
+        assert breakdown.tail == pytest.approx(
+            (4.0 + profile.tail_time) * profile.tail_power, rel=0.02)
+
+    def test_gap_longer_than_tail_demotes(self):
+        log = ActivityLog(0.1)
+        burst(log, 0.0, 1.0)
+        burst(log, 50.0, 1.0)
+        profile = GALAXY_NOTE.lte
+        breakdown = interface_energy(log, "cellular", profile, 100.0)
+        assert breakdown.promotion == pytest.approx(
+            2 * profile.promotion_energy)
+        assert breakdown.tail == pytest.approx(
+            2 * profile.tail_time * profile.tail_power, rel=0.02)
+        assert breakdown.idle > 0
+
+    def test_dribble_costs_more_than_burst(self):
+        """The Table-4 lesson: the same bytes trickled slowly keep the
+        radio active far longer than a fast burst plus one tail."""
+        total_bytes = 10e6
+        dribble = ActivityLog(0.1)
+        burst(dribble, 0.0, 100.0, rate_bytes_per_s=total_bytes / 100.0)
+        fast = ActivityLog(0.1)
+        burst(fast, 0.0, 5.0, rate_bytes_per_s=total_bytes / 5.0)
+        profile = GALAXY_NOTE.lte
+        dribble_energy = interface_energy(dribble, "cellular", profile,
+                                          120.0).total
+        fast_energy = interface_energy(fast, "cellular", profile,
+                                       120.0).total
+        assert dribble_energy > 2 * fast_energy
+
+    def test_invalid_session_end_rejected(self):
+        with pytest.raises(ValueError):
+            interface_energy(ActivityLog(), "cellular", GALAXY_NOTE.lte, 0.0)
+
+
+class TestSessionEnergy:
+    def test_totals_sum_interfaces(self):
+        log = ActivityLog(0.1)
+        burst(log, 0.0, 2.0, path="cellular")
+        burst(log, 0.0, 2.0, path="wifi")
+        energy = session_energy(log, GALAXY_NOTE, 60.0)
+        assert energy["total"].total == pytest.approx(
+            energy["cellular"].total + energy["wifi"].total)
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        b = EnergyBreakdown(10.0, 20.0, 30.0, 40.0)
+        c = a + b
+        assert c.total == pytest.approx(110.0)
+
+    def test_devices_yield_similar_results(self):
+        """The paper reports Galaxy Note and S III 'yielding similar
+        results'."""
+        log = ActivityLog(0.1)
+        burst(log, 0.0, 10.0, path="cellular")
+        note = session_energy(log, GALAXY_NOTE, 60.0)["total"].total
+        s3 = session_energy(log, GALAXY_S3, 60.0)["total"].total
+        assert s3 == pytest.approx(note, rel=0.25)

@@ -1,0 +1,155 @@
+"""Tests for throughput estimators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimators import Ewma, HarmonicMean, HoltWinters
+
+
+class TestHoltWinters:
+    def test_cold_start_predicts_none(self):
+        assert HoltWinters().predict() is None
+
+    def test_predict_or_uses_default_when_cold(self):
+        assert HoltWinters().predict_or(42.0) == 42.0
+
+    def test_converges_on_constant_series(self):
+        hw = HoltWinters()
+        for _ in range(50):
+            hw.update(100.0)
+        assert hw.predict() == pytest.approx(100.0, rel=1e-6)
+
+    def test_tracks_linear_trend(self):
+        hw = HoltWinters()
+        for i in range(100):
+            hw.update(100.0 + 10.0 * i)
+        # One-step-ahead forecast should anticipate the next increment.
+        assert hw.predict() == pytest.approx(100.0 + 10.0 * 100, rel=0.02)
+
+    def test_multi_step_forecast_extrapolates(self):
+        hw = HoltWinters()
+        for i in range(100):
+            hw.update(float(i))
+        assert hw.predict(horizon=10) > hw.predict(horizon=1)
+
+    def test_prediction_never_negative(self):
+        hw = HoltWinters()
+        for value in [100.0, 50.0, 10.0, 1.0, 0.0, 0.0]:
+            hw.update(value)
+        assert hw.predict() >= 0.0
+
+    def test_reset(self):
+        hw = HoltWinters()
+        hw.update(5.0)
+        hw.reset()
+        assert hw.predict() is None
+        assert hw.observations == 0
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            HoltWinters().update(-1.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            HoltWinters(alpha=0.0)
+        with pytest.raises(ValueError):
+            HoltWinters(beta=1.5)
+
+    def test_reacts_faster_than_ewma_on_sustained_drop(self):
+        """The trend term is why the paper prefers HW over EWMA."""
+        hw = HoltWinters()
+        ewma = Ewma(alpha=0.4)
+        for _ in range(20):
+            hw.update(100.0)
+            ewma.update(100.0)
+        for step in range(10):
+            value = 100.0 - 10.0 * (step + 1)
+            hw.update(value)
+            ewma.update(value)
+        # True next value is ~ -10 below the last observation; HW should be
+        # closer to the falling series than EWMA.
+        assert hw.predict() < ewma.predict()
+
+
+class TestEwma:
+    def test_first_observation_is_estimate(self):
+        e = Ewma()
+        e.update(10.0)
+        assert e.predict() == 10.0
+
+    def test_smooths_toward_new_values(self):
+        e = Ewma(alpha=0.5)
+        e.update(0.0)
+        e.update(100.0)
+        assert e.predict() == pytest.approx(50.0)
+
+    def test_reset(self):
+        e = Ewma()
+        e.update(1.0)
+        e.reset()
+        assert e.predict() is None
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=2.0)
+
+    def test_negative_observation_rejected(self):
+        with pytest.raises(ValueError):
+            Ewma().update(-0.1)
+
+
+class TestHarmonicMean:
+    def test_single_sample(self):
+        h = HarmonicMean()
+        h.update(10.0)
+        assert h.predict() == pytest.approx(10.0)
+
+    def test_known_harmonic_mean(self):
+        h = HarmonicMean(window=2)
+        h.update(2.0)
+        h.update(6.0)
+        assert h.predict() == pytest.approx(3.0)
+
+    def test_window_slides(self):
+        h = HarmonicMean(window=2)
+        for value in [1.0, 100.0, 100.0]:
+            h.update(value)
+        assert h.predict() == pytest.approx(100.0)
+
+    def test_zero_sample_does_not_poison_forever(self):
+        h = HarmonicMean(window=3)
+        h.update(0.0)
+        h.update(10.0)
+        h.update(10.0)
+        assert h.predict() > 0.0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            HarmonicMean(window=0)
+
+    def test_reset(self):
+        h = HarmonicMean()
+        h.update(1.0)
+        h.reset()
+        assert h.predict() is None
+        assert h.sample_count == 0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_harmonic_le_arithmetic(self, values):
+        h = HarmonicMean(window=len(values))
+        for v in values:
+            h.update(v)
+        arithmetic = sum(values) / len(values)
+        assert h.predict() <= arithmetic + 1e-6
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=1e6), min_size=1,
+                    max_size=5))
+    @settings(max_examples=100, deadline=None)
+    def test_harmonic_within_min_max(self, values):
+        h = HarmonicMean(window=len(values))
+        for v in values:
+            h.update(v)
+        assert min(values) - 1e-6 <= h.predict() <= max(values) + 1e-6

@@ -1,0 +1,68 @@
+"""Tests for the player event log."""
+
+import pytest
+
+from repro.dash.events import (ChunkRecord, PlayerEventLog, REQUEST,
+                               STALL_END, STALL_START)
+
+
+def make_chunk(index=0, level=0, cellular=0.0, wifi=100.0):
+    return ChunkRecord(index=index, level=level, size=wifi + cellular,
+                       duration=4.0, requested_at=index * 4.0,
+                       completed_at=index * 4.0 + 2.0, throughput=1000.0,
+                       bytes_per_path={"wifi": wifi, "cellular": cellular})
+
+
+class TestEvents:
+    def test_events_recorded_in_order(self):
+        log = PlayerEventLog()
+        log.record(1.0, REQUEST, index=0)
+        log.record(2.0, REQUEST, index=1)
+        assert [e.time for e in log.of_kind(REQUEST)] == [1.0, 2.0]
+
+    def test_stall_pairing(self):
+        log = PlayerEventLog()
+        log.record(5.0, STALL_START)
+        log.record(7.5, STALL_END)
+        assert log.stall_count == 1
+        assert log.total_stall_time == pytest.approx(2.5)
+
+    def test_unmatched_stall_end_rejected(self):
+        log = PlayerEventLog()
+        with pytest.raises(ValueError):
+            log.record(1.0, STALL_END)
+
+    def test_close_ends_open_stall(self):
+        log = PlayerEventLog()
+        log.record(5.0, STALL_START)
+        log.close(9.0)
+        assert log.stall_count == 1
+        assert log.total_stall_time == pytest.approx(4.0)
+
+    def test_close_without_open_stall_is_noop(self):
+        log = PlayerEventLog()
+        log.close(10.0)
+        assert log.stall_count == 0
+
+
+class TestChunks:
+    def test_quality_switch_count(self):
+        log = PlayerEventLog()
+        for level in [0, 0, 1, 1, 0, 2]:
+            log.record_chunk(make_chunk(level=level))
+        assert log.quality_switches() == 3
+
+    def test_fraction_on(self):
+        chunk = make_chunk(cellular=25.0, wifi=75.0)
+        assert chunk.fraction_on("cellular") == pytest.approx(0.25)
+        assert chunk.fraction_on("wifi") == pytest.approx(0.75)
+
+    def test_fraction_on_empty_chunk(self):
+        chunk = ChunkRecord(index=0, level=0, size=0.0, duration=4.0,
+                            requested_at=0.0, completed_at=1.0,
+                            throughput=0.0)
+        assert chunk.fraction_on("wifi") == 0.0
+
+    def test_download_time(self):
+        chunk = make_chunk(index=3)
+        assert chunk.download_time == pytest.approx(2.0)

@@ -1,0 +1,112 @@
+"""Tests for the HTTP layer and the DASH server."""
+
+import pytest
+
+from repro.dash.http import HttpClient
+from repro.dash.media import VideoAsset
+from repro.dash.server import DashServer
+from repro.mptcp.connection import MptcpConnection
+from repro.net.link import cellular_path, wifi_path
+from repro.net.simulator import Simulator
+
+
+@pytest.fixture
+def server():
+    server = DashServer()
+    server.host(VideoAsset.generate("movie", 4.0, 40.0, [1.0, 2.0],
+                                    seed=0))
+    return server
+
+
+class TestServer:
+    def test_resolve_known_chunk(self, server):
+        size = server.resolve("/movie/level0/chunk3")
+        assert size is not None and size > 0
+
+    def test_resolve_unknown_video(self, server):
+        assert server.resolve("/other/level0/chunk0") is None
+
+    def test_resolve_out_of_range(self, server):
+        assert server.resolve("/movie/level5/chunk0") is None
+        assert server.resolve("/movie/level0/chunk999") is None
+
+    def test_resolve_malformed_path(self, server):
+        assert server.resolve("not-a-chunk") is None
+        assert server.resolve("/movie/level0/") is None
+
+    def test_manifest_matches_asset(self, server):
+        manifest = server.manifest("movie")
+        assert manifest.num_chunks == 10
+        assert manifest.num_levels == 2
+
+    def test_manifest_unknown_video_rejected(self, server):
+        with pytest.raises(KeyError):
+            server.manifest("ghost")
+
+    def test_duplicate_hosting_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.host(VideoAsset.generate("movie", 4.0, 8.0, [1.0],
+                                            seed=0))
+
+    def test_hosted_listing(self, server):
+        assert server.hosted() == ["movie"]
+
+
+class TestHttpClient:
+    def make_client(self, server):
+        sim = Simulator()
+        conn = MptcpConnection(sim, [wifi_path(bandwidth_mbps=8.0),
+                                     cellular_path(bandwidth_mbps=8.0)])
+        return sim, conn, HttpClient(conn, server.resolve)
+
+    def test_get_delivers_body(self, server):
+        sim, _conn, client = self.make_client(server)
+        responses = []
+        client.get("/movie/level0/chunk0", responses.append)
+        sim.run(until=30.0)
+        assert len(responses) == 1
+        response = responses[0]
+        assert response.ok
+        assert response.transfer.complete
+        assert response.transfer.total_bytes == response.content_length
+
+    def test_content_length_matches_server(self, server):
+        sim, _conn, client = self.make_client(server)
+        responses = []
+        client.get("/movie/level1/chunk2", responses.append)
+        sim.run(until=30.0)
+        assert responses[0].content_length == int(round(
+            server.resolve("/movie/level1/chunk2")))
+
+    def test_missing_resource_404s_immediately(self, server):
+        sim, _conn, client = self.make_client(server)
+        responses = []
+        client.get("/nope", responses.append)
+        assert len(responses) == 1
+        assert responses[0].status == 404
+        assert not responses[0].ok
+        assert responses[0].transfer is None
+
+    def test_before_transfer_sees_content_length_first(self, server):
+        sim, _conn, client = self.make_client(server)
+        order = []
+
+        def before(response):
+            order.append(("before", response.content_length,
+                          response.transfer))
+
+        def after(response):
+            order.append(("after", response.content_length))
+
+        client.get("/movie/level0/chunk0", after, before)
+        sim.run(until=30.0)
+        assert order[0][0] == "before"
+        assert order[0][1] > 0
+        assert order[0][2] is None  # transfer not yet issued
+        assert order[1][0] == "after"
+
+    def test_requests_counted(self, server):
+        sim, _conn, client = self.make_client(server)
+        client.get("/movie/level0/chunk0", lambda r: None)
+        client.get("/nope", lambda r: None)
+        assert client.requests_sent == 2

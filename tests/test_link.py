@@ -1,0 +1,64 @@
+"""Tests for the path model."""
+
+import pytest
+
+from repro.net.link import CELLULAR, WIFI, Path, cellular_path, wifi_path
+from repro.net.trace import BandwidthTrace
+from repro.net.units import mbps
+
+
+class TestPath:
+    def test_bandwidth_follows_trace(self):
+        trace = BandwidthTrace.from_samples([100.0, 200.0], 1.0)
+        path = Path("wifi", trace, rtt=0.05)
+        assert path.bandwidth_at(0.5) == 100.0
+        assert path.bandwidth_at(1.5) == 200.0
+
+    def test_throttle_caps_bandwidth(self):
+        path = Path("cellular", BandwidthTrace.constant(1000.0), rtt=0.05,
+                    throttle=300.0)
+        assert path.bandwidth_at(0.0) == 300.0
+        assert path.mean_bandwidth() == 300.0
+
+    def test_no_throttle_by_default(self):
+        path = Path("cellular", BandwidthTrace.constant(1000.0), rtt=0.05)
+        assert path.bandwidth_at(0.0) == 1000.0
+
+    def test_invalid_rtt_rejected(self):
+        with pytest.raises(ValueError):
+            Path("wifi", BandwidthTrace.constant(1.0), rtt=0.0)
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ValueError):
+            Path("wifi", BandwidthTrace.constant(1.0), rtt=0.05, cost=-1.0)
+
+    def test_enabled_by_default(self):
+        path = Path("wifi", BandwidthTrace.constant(1.0), rtt=0.05)
+        assert path.enabled
+
+
+class TestBuilders:
+    def test_wifi_path_defaults(self):
+        path = wifi_path(bandwidth_mbps=3.8)
+        assert path.name == WIFI
+        assert path.rtt == pytest.approx(0.05)
+        assert path.cost == 0.0
+        assert path.bandwidth_at(0.0) == pytest.approx(mbps(3.8))
+
+    def test_cellular_path_defaults(self):
+        path = cellular_path(bandwidth_mbps=3.0)
+        assert path.name == CELLULAR
+        assert path.rtt == pytest.approx(0.055)
+        assert path.cost == 1.0
+
+    def test_builder_accepts_trace(self):
+        trace = BandwidthTrace.constant(500.0)
+        path = wifi_path(trace=trace)
+        assert path.bandwidth_at(0.0) == 500.0
+
+    def test_builder_requires_exactly_one_source(self):
+        with pytest.raises(ValueError):
+            wifi_path()
+        with pytest.raises(ValueError):
+            wifi_path(bandwidth_mbps=1.0,
+                      trace=BandwidthTrace.constant(1.0))

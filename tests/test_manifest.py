@@ -1,0 +1,49 @@
+"""Tests for the DASH manifest."""
+
+import pytest
+
+from repro.dash.manifest import Manifest
+from repro.dash.media import VideoAsset
+
+
+@pytest.fixture
+def asset():
+    return VideoAsset.generate("movie", 4.0, 40.0, [1.0, 2.0, 4.0], seed=0)
+
+
+class TestManifest:
+    def test_describes_ladder(self, asset):
+        manifest = Manifest(asset)
+        assert manifest.num_levels == 3
+        assert manifest.num_chunks == 10
+        assert manifest.chunk_duration == 4.0
+        assert manifest.bitrates() == asset.bitrates()
+
+    def test_chunk_urls_unique(self, asset):
+        manifest = Manifest(asset)
+        urls = {manifest.chunk_url(level, i)
+                for level in range(3) for i in range(10)}
+        assert len(urls) == 30
+
+    def test_chunk_url_format(self, asset):
+        manifest = Manifest(asset)
+        assert manifest.chunk_url(2, 7) == "/movie/level2/chunk7"
+
+    def test_out_of_range_chunk_rejected(self, asset):
+        manifest = Manifest(asset)
+        with pytest.raises(IndexError):
+            manifest.chunk_url(0, 10)
+        with pytest.raises(IndexError):
+            manifest.level(3)
+
+    def test_sizes_excluded_by_default(self, asset):
+        """Chunk size is not a mandatory MPD field (§5.1): the client must
+        read Content-Length instead."""
+        manifest = Manifest(asset)
+        assert not manifest.sizes_included
+        with pytest.raises(LookupError):
+            manifest.chunk_size(0, 0)
+
+    def test_sizes_included_when_requested(self, asset):
+        manifest = Manifest(asset, sizes_included=True)
+        assert manifest.chunk_size(1, 2) == asset.chunk_size(1, 2)

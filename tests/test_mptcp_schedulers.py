@@ -1,0 +1,91 @@
+"""Tests for the MPTCP packet schedulers."""
+
+import pytest
+
+from repro.mptcp.schedulers import (MinRttScheduler, RoundRobinScheduler,
+                                    make_scheduler, scheduler_names)
+from repro.mptcp.subflow import Subflow
+from repro.net.link import Path
+from repro.net.trace import BandwidthTrace
+
+
+def _subflow(name, rtt):
+    return Subflow(Path(name, BandwidthTrace.constant(1e6), rtt=rtt))
+
+
+@pytest.fixture
+def subflows():
+    return [_subflow("wifi", 0.05), _subflow("cellular", 0.08)]
+
+
+class TestMinRtt:
+    def test_saturated_fills_everything(self, subflows):
+        sched = MinRttScheduler()
+        budgets = {"wifi": 100.0, "cellular": 100.0}
+        alloc = sched.allocate(1000.0, subflows, budgets)
+        assert alloc == {"wifi": 100.0, "cellular": 100.0}
+
+    def test_sliver_goes_to_lowest_rtt_first(self, subflows):
+        sched = MinRttScheduler()
+        budgets = {"wifi": 100.0, "cellular": 100.0}
+        alloc = sched.allocate(60.0, subflows, budgets)
+        assert alloc == {"wifi": 60.0, "cellular": 0.0}
+
+    def test_sliver_overflows_to_next_path(self, subflows):
+        sched = MinRttScheduler()
+        budgets = {"wifi": 100.0, "cellular": 100.0}
+        alloc = sched.allocate(150.0, subflows, budgets)
+        assert alloc == {"wifi": 100.0, "cellular": 50.0}
+
+    def test_rtt_order_not_list_order(self, subflows):
+        sched = MinRttScheduler()
+        budgets = {"wifi": 100.0, "cellular": 100.0}
+        alloc = sched.allocate(60.0, list(reversed(subflows)), budgets)
+        assert alloc["wifi"] == 60.0
+
+
+class TestRoundRobin:
+    def test_saturated_fills_everything(self, subflows):
+        sched = RoundRobinScheduler()
+        budgets = {"wifi": 100.0, "cellular": 300.0}
+        alloc = sched.allocate(1000.0, subflows, budgets)
+        assert alloc == {"wifi": 100.0, "cellular": 300.0}
+
+    def test_sliver_split_proportionally(self, subflows):
+        sched = RoundRobinScheduler()
+        budgets = {"wifi": 100.0, "cellular": 300.0}
+        alloc = sched.allocate(200.0, subflows, budgets)
+        assert alloc["wifi"] == pytest.approx(50.0)
+        assert alloc["cellular"] == pytest.approx(150.0)
+
+    def test_zero_budget_allocates_nothing(self, subflows):
+        sched = RoundRobinScheduler()
+        alloc = sched.allocate(100.0, subflows,
+                               {"wifi": 0.0, "cellular": 0.0})
+        assert alloc == {"wifi": 0.0, "cellular": 0.0}
+
+
+class TestCommonInvariants:
+    @pytest.mark.parametrize("name", ["minrtt", "roundrobin"])
+    def test_never_exceeds_budget_or_remaining(self, name, subflows):
+        sched = make_scheduler(name)
+        budgets = {"wifi": 70.0, "cellular": 40.0}
+        for remaining in (0.0, 10.0, 100.0, 110.0, 500.0):
+            alloc = sched.allocate(remaining, subflows, budgets)
+            assert sum(alloc.values()) <= remaining + 1e-9
+            for key, value in alloc.items():
+                assert value <= budgets[key] + 1e-9
+                assert value >= 0.0
+
+
+class TestFactory:
+    def test_make_by_name(self):
+        assert make_scheduler("minrtt").name == "minrtt"
+        assert make_scheduler("roundrobin").name == "roundrobin"
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown MPTCP scheduler"):
+            make_scheduler("bogus")
+
+    def test_names_listed(self):
+        assert scheduler_names() == ["minrtt", "roundrobin"]

@@ -1,0 +1,218 @@
+"""Tests for the offline optimal (knapsack) schedulers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.offline import (fluid_lower_bound, solve_greedy,
+                                solve_offline)
+
+COSTS = {"wifi": 0.0, "cellular": 1.0}
+
+
+def simple_instance(wifi_rate=500.0, cell_rate=400.0, slots=10):
+    return {"wifi": [wifi_rate] * slots, "cellular": [cell_rate] * slots}
+
+
+class TestValidation:
+    @pytest.mark.parametrize("solver", [solve_offline, solve_greedy])
+    def test_empty_interfaces_rejected(self, solver):
+        with pytest.raises(ValueError):
+            solver({}, COSTS, 1.0, 100.0)
+
+    def test_mismatched_slot_counts_rejected(self):
+        with pytest.raises(ValueError):
+            solve_offline({"wifi": [1.0], "cellular": [1.0, 2.0]},
+                          COSTS, 1.0, 100.0)
+
+    def test_missing_costs_rejected(self):
+        with pytest.raises(ValueError):
+            solve_offline({"wifi": [1.0]}, {}, 1.0, 100.0)
+
+    def test_non_positive_size_rejected(self):
+        with pytest.raises(ValueError):
+            solve_offline(simple_instance(), COSTS, 1.0, 0.0)
+
+    def test_non_positive_slot_rejected(self):
+        with pytest.raises(ValueError):
+            solve_offline(simple_instance(), COSTS, 0.0, 100.0)
+
+
+class TestOptimalSolver:
+    def test_wifi_only_when_sufficient(self):
+        bw = simple_instance()
+        solution = solve_offline(bw, COSTS, 1.0, 3000.0)
+        assert solution.cost == 0.0
+        assert solution.bytes_per_path.get("cellular", 0.0) == 0.0
+        assert solution.total_bytes >= 3000.0
+
+    def test_cellular_tops_up_deficit(self):
+        bw = simple_instance(wifi_rate=500.0, cell_rate=400.0, slots=10)
+        # WiFi capacity 5000; need 6000 -> >= 1000 from cellular.
+        solution = solve_offline(bw, COSTS, 1.0, 6000.0)
+        assert solution.feasible
+        assert solution.total_bytes >= 6000.0
+        assert solution.bytes_per_path["cellular"] >= 1000.0
+        # Cellular slots are 400 each: optimal picks 3 (1200 bytes).
+        assert solution.bytes_per_path["cellular"] == pytest.approx(
+            1200.0, abs=1.0)
+
+    def test_infeasible_instance_flagged(self):
+        bw = simple_instance(slots=2)
+        solution = solve_offline(bw, COSTS, 1.0, 1e9)
+        assert not solution.feasible
+        assert solution.total_bytes == pytest.approx(1800.0)
+
+    def test_coverage_always_reached_when_feasible(self):
+        rng = np.random.default_rng(7)
+        bw = {"wifi": list(rng.uniform(100, 500, 20)),
+              "cellular": list(rng.uniform(100, 500, 20))}
+        size = 4000.0
+        solution = solve_offline(bw, COSTS, 1.0, size)
+        assert solution.feasible
+        assert solution.total_bytes >= size
+
+    def test_selected_items_match_reported_bytes(self):
+        bw = simple_instance()
+        solution = solve_offline(bw, COSTS, 1.0, 3000.0)
+        recomputed = {}
+        for name, j in solution.selected:
+            recomputed[name] = recomputed.get(name, 0.0) + bw[name][j] * 1.0
+        for name, total in solution.bytes_per_path.items():
+            assert recomputed.get(name, 0.0) == pytest.approx(total)
+
+    def test_respects_cost_ordering_three_paths(self):
+        bw = {"a": [100.0] * 5, "b": [100.0] * 5, "c": [100.0] * 5}
+        costs = {"a": 0.0, "b": 1.0, "c": 10.0}
+        solution = solve_offline(bw, costs, 1.0, 700.0)
+        assert solution.bytes_per_path.get("a", 0.0) == pytest.approx(500.0)
+        assert solution.bytes_per_path.get("b", 0.0) >= 200.0
+        assert solution.bytes_per_path.get("c", 0.0) == 0.0
+
+    def test_fraction_on_sums_to_one(self):
+        bw = simple_instance(wifi_rate=500.0, cell_rate=400.0)
+        size = 6000.0
+        solution = solve_offline(bw, COSTS, 1.0, size)
+        total = (solution.fraction_on("wifi", size)
+                 + solution.fraction_on("cellular", size))
+        assert total == pytest.approx(1.0, abs=0.05)
+
+
+class TestBounds:
+    def test_dp_between_fluid_bound_and_greedy(self):
+        rng = np.random.default_rng(0)
+        bw = {"wifi": list(rng.uniform(3e5, 6e5, 30)),
+              "cellular": list(rng.uniform(2e5, 5e5, 30))}
+        costs = {"wifi": 0.1, "cellular": 1.0}
+        size = 1.6e7
+        resolution = size / 4000.0
+        dp = solve_offline(bw, costs, 1.0, size, resolution=resolution)
+        greedy = solve_greedy(bw, costs, 1.0, size)
+        fluid = fluid_lower_bound(bw, costs, 1.0, size)
+        # DP is optimal up to one resolution quantum per selected item.
+        tolerance = resolution * len(dp.selected) * max(costs.values())
+        assert dp.cost <= greedy.cost + tolerance
+        assert dp.cost >= fluid - 1e-6
+
+    def test_dp_converges_with_resolution(self):
+        rng = np.random.default_rng(1)
+        bw = {"wifi": list(rng.uniform(3e5, 6e5, 20)),
+              "cellular": list(rng.uniform(2e5, 5e5, 20))}
+        costs = {"wifi": 0.1, "cellular": 1.0}
+        size = 1.1e7
+        coarse = solve_offline(bw, costs, 1.0, size, resolution=size / 500)
+        fine = solve_offline(bw, costs, 1.0, size, resolution=size / 8000)
+        assert fine.cost <= coarse.cost + 1e-6
+
+
+class TestGreedy:
+    def test_greedy_covers_size(self):
+        bw = simple_instance()
+        solution = solve_greedy(bw, COSTS, 1.0, 6000.0)
+        assert solution.feasible
+        assert solution.total_bytes >= 6000.0
+
+    def test_greedy_prefers_cheap_tier(self):
+        bw = simple_instance()
+        solution = solve_greedy(bw, COSTS, 1.0, 3000.0)
+        assert solution.bytes_per_path.get("cellular", 0.0) == 0.0
+
+    def test_greedy_infeasible(self):
+        solution = solve_greedy(simple_instance(slots=1), COSTS, 1.0, 1e9)
+        assert not solution.feasible
+
+
+class TestFluidBound:
+    def test_exact_on_uniform_instance(self):
+        bw = simple_instance(wifi_rate=500.0, cell_rate=400.0, slots=10)
+        # Need 6000: wifi 5000 free + exactly 1000 cellular.
+        assert fluid_lower_bound(bw, COSTS, 1.0, 6000.0) == pytest.approx(
+            1000.0)
+
+    def test_zero_when_cheap_capacity_sufficient(self):
+        assert fluid_lower_bound(simple_instance(), COSTS, 1.0, 100.0) == 0.0
+
+
+class TestProperties:
+    @given(
+        st.lists(st.floats(min_value=10.0, max_value=1000.0), min_size=2,
+                 max_size=12),
+        st.lists(st.floats(min_value=10.0, max_value=1000.0), min_size=2,
+                 max_size=12),
+        st.floats(min_value=0.05, max_value=0.95),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_dp_invariants(self, wifi, cell, demand_fraction):
+        slots = min(len(wifi), len(cell))
+        bw = {"wifi": wifi[:slots], "cellular": cell[:slots]}
+        capacity = sum(wifi[:slots]) + sum(cell[:slots])
+        size = capacity * demand_fraction
+        solution = solve_offline(bw, COSTS, 1.0, size)
+        assert solution.feasible
+        assert solution.total_bytes >= size - 1e-6
+        assert solution.cost >= fluid_lower_bound(bw, COSTS, 1.0, size) - 1e-6
+        assert solution.cost == pytest.approx(
+            solution.bytes_per_path.get("cellular", 0.0))
+
+
+class TestTimeVaryingCosts:
+    """The §4 formulation's c(i, j) is per-slot; costs may vary in time."""
+
+    def test_per_slot_costs_accepted(self):
+        bw = {"wifi": [500.0] * 4, "cellular": [400.0] * 4}
+        costs = {"wifi": 0.0, "cellular": [1.0, 1.0, 5.0, 5.0]}
+        solution = solve_offline(bw, costs, 1.0, 2600.0)
+        assert solution.feasible
+        # The 600-byte deficit is covered by cheap-hour cellular slots.
+        cheap = {("cellular", 0), ("cellular", 1)}
+        chosen_cell = {item for item in solution.selected
+                       if item[0] == "cellular"}
+        assert chosen_cell <= cheap
+
+    def test_expensive_hours_avoided_by_greedy_too(self):
+        bw = {"wifi": [500.0] * 4, "cellular": [400.0] * 4}
+        costs = {"wifi": 0.0, "cellular": [5.0, 5.0, 1.0, 1.0]}
+        solution = solve_greedy(bw, costs, 1.0, 2600.0)
+        chosen_cell = {item for item in solution.selected
+                       if item[0] == "cellular"}
+        assert chosen_cell <= {("cellular", 2), ("cellular", 3)}
+
+    def test_fluid_bound_respects_slot_costs(self):
+        bw = {"wifi": [500.0] * 2, "cellular": [400.0] * 2}
+        costs = {"wifi": 0.0, "cellular": [1.0, 3.0]}
+        # Deficit 200 bytes, cheapest cellular slot costs 1/byte.
+        assert fluid_lower_bound(bw, costs, 1.0, 1200.0) == pytest.approx(
+            200.0)
+
+    def test_wrong_length_rejected(self):
+        bw = {"wifi": [500.0] * 4}
+        with pytest.raises(ValueError):
+            solve_offline(bw, {"wifi": [1.0, 2.0]}, 1.0, 100.0)
+
+    def test_mixed_static_and_per_slot(self):
+        bw = {"wifi": [500.0] * 3, "cellular": [400.0] * 3}
+        costs = {"wifi": 0.1, "cellular": [0.5, 2.0, 2.0]}
+        solution = solve_offline(bw, costs, 1.0, 1800.0)
+        assert solution.feasible
+        assert solution.total_bytes >= 1800.0

@@ -1,0 +1,61 @@
+"""Tests for the delayed DSS signaling channel."""
+
+import pytest
+
+from repro.mptcp.options import SignalChannel
+
+
+class TestSignalChannel:
+    def test_initial_value_visible_immediately(self):
+        ch = SignalChannel(True, delay=0.05)
+        assert ch.current(0.0) is True
+
+    def test_write_invisible_before_delay(self):
+        ch = SignalChannel(True, delay=0.05)
+        ch.send(1.0, False)
+        assert ch.current(1.0) is True
+        assert ch.current(1.049) is True
+
+    def test_write_visible_after_delay(self):
+        ch = SignalChannel(True, delay=0.05)
+        ch.send(1.0, False)
+        assert ch.current(1.05) is False
+
+    def test_zero_delay_is_instant(self):
+        ch = SignalChannel(True, delay=0.0)
+        ch.send(1.0, False)
+        assert ch.current(1.0) is False
+
+    def test_writes_apply_in_order(self):
+        ch = SignalChannel(False, delay=0.1)
+        ch.send(1.0, True)
+        ch.send(1.05, False)
+        assert ch.current(1.12) is True
+        assert ch.current(1.20) is False
+
+    def test_redundant_writes_skipped(self):
+        ch = SignalChannel(True, delay=0.1)
+        ch.send(1.0, True)
+        assert ch.pending() == 0
+        ch.send(1.0, False)
+        ch.send(1.01, False)
+        assert ch.pending() == 1
+
+    def test_latest_writer_wins(self):
+        ch = SignalChannel(False, delay=0.1)
+        ch.send(0.0, True)
+        ch.send(0.01, False)
+        ch.send(0.02, True)
+        assert ch.current(1.0) is True
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            SignalChannel(True, delay=-0.1)
+
+    def test_flip_after_effective_value_consumed(self):
+        ch = SignalChannel(True, delay=0.05)
+        ch.send(0.0, False)
+        assert ch.current(0.05) is False
+        ch.send(0.1, True)
+        assert ch.current(0.1) is False
+        assert ch.current(0.16) is True

@@ -1,0 +1,99 @@
+"""Tests for the composite QoE score."""
+
+import pytest
+
+from repro.analysis.qoe import QoeScore, qoe_from_bitrates, qoe_of, \
+    session_qoe
+from repro.experiments import SessionConfig, run_session
+
+
+class TestScoring:
+    def test_steady_high_bitrate_scores_best(self):
+        steady = qoe_from_bitrates([4.0] * 10)
+        lower = qoe_from_bitrates([2.0] * 10)
+        assert steady.total > lower.total
+        assert steady.switch_penalty == 0.0
+
+    def test_switching_penalized(self):
+        steady = qoe_from_bitrates([3.0] * 10)
+        thrash = qoe_from_bitrates([2.0, 4.0] * 5)
+        assert thrash.quality == steady.quality
+        assert thrash.total < steady.total
+
+    def test_rebuffering_dominates(self):
+        clean = qoe_from_bitrates([4.0] * 10)
+        stalled = qoe_from_bitrates([4.0] * 10, rebuffer_seconds=3.0)
+        assert clean.total - stalled.total == pytest.approx(24.0)
+
+    def test_startup_penalized_lightly(self):
+        slow_start = qoe_from_bitrates([4.0] * 10, startup_seconds=2.0)
+        assert slow_start.startup_penalty == pytest.approx(2.0)
+
+    def test_per_chunk_normalizes(self):
+        short = qoe_from_bitrates([4.0] * 5)
+        long = qoe_from_bitrates([4.0] * 50)
+        assert short.per_chunk == pytest.approx(long.per_chunk)
+        assert long.total > short.total
+
+    def test_empty_session(self):
+        score = qoe_from_bitrates([])
+        assert score.total == 0.0
+        assert score.per_chunk == 0.0
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(ValueError):
+            qoe_from_bitrates([1.0], rebuffer_seconds=-1.0)
+        with pytest.raises(ValueError):
+            qoe_from_bitrates([1.0], startup_seconds=-1.0)
+
+    def test_custom_penalties(self):
+        harsh = qoe_from_bitrates([2.0, 4.0], switch_penalty=10.0)
+        assert harsh.switch_penalty == pytest.approx(20.0)
+
+
+class TestSessionScoring:
+    @pytest.fixture(scope="class")
+    def comparison(self):
+        results = {}
+        for mpdash in (False, True):
+            results[mpdash] = run_session(SessionConfig(
+                video="big_buck_bunny", abr="festive", mpdash=mpdash,
+                deadline_mode="rate", wifi_mbps=3.8, lte_mbps=3.0,
+                video_duration=120.0))
+        return results
+
+    def test_session_qoe_from_log(self, comparison):
+        result = comparison[True]
+        score = session_qoe(result.player.log,
+                            result.player.manifest.bitrates(),
+                            startup_delay=result.metrics.startup_delay)
+        assert score.chunk_count == len(result.player.log.chunks)
+        assert score.total > 0
+        assert score.rebuffer_penalty == 0.0
+
+    def test_qoe_of_metrics_matches_log_quality(self, comparison):
+        result = comparison[True]
+        ladder = result.player.manifest.bitrates()
+        from_log = session_qoe(result.player.log, ladder)
+        from_metrics = qoe_of(result.metrics, ladder)
+        # Metrics skip the first 20% of chunks; per-chunk quality should
+        # match to within the startup ramp's influence.
+        assert from_metrics.per_chunk == pytest.approx(
+            from_log.per_chunk, rel=0.2)
+
+    def test_mpdash_preserves_qoe(self, comparison):
+        """The headline claim in QoE terms: MP-DASH scores within a few
+        percent of vanilla MPTCP."""
+        ladder = comparison[True].player.manifest.bitrates()
+        baseline = session_qoe(comparison[False].player.log, ladder)
+        treated = session_qoe(comparison[True].player.log, ladder)
+        assert treated.total >= 0.93 * baseline.total
+
+
+class TestRepr:
+    def test_repr_shows_decomposition(self):
+        score = QoeScore(quality=40.0, switch_penalty=2.0,
+                         rebuffer_penalty=0.0, startup_penalty=1.0,
+                         chunk_count=10)
+        text = repr(score)
+        assert "37.0" in text

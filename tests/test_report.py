@@ -1,0 +1,54 @@
+"""Tests for the full-session report."""
+
+import pytest
+
+from repro.analysis import session_report
+from repro.experiments import SessionConfig, run_session
+
+
+@pytest.fixture(scope="module")
+def mpdash_result():
+    return run_session(SessionConfig(
+        video="big_buck_bunny", abr="festive", mpdash=True,
+        deadline_mode="rate", wifi_mbps=6.0, lte_mbps=4.0,
+        video_duration=60.0))
+
+
+@pytest.fixture(scope="module")
+def baseline_result():
+    return run_session(SessionConfig(
+        video="big_buck_bunny", abr="gpac", mpdash=False,
+        wifi_mbps=6.0, lte_mbps=4.0, video_duration=60.0))
+
+
+class TestSessionReport:
+    def test_contains_all_sections(self, mpdash_result):
+        report = session_report(mpdash_result)
+        assert "Session:" in report
+        assert "cellular data" in report
+        assert "Chunk strip" in report
+        assert "Throughput patterns" in report
+        assert "Idle gaps" in report
+
+    def test_mpdash_mode_labelled(self, mpdash_result):
+        assert "MP-DASH (rate)" in session_report(mpdash_result)
+        assert "MP-DASH activations" in session_report(mpdash_result)
+
+    def test_baseline_mode_labelled(self, baseline_result):
+        report = session_report(baseline_result)
+        assert "vanilla MPTCP" in report
+        assert "MP-DASH activations" not in report
+
+    def test_pattern_window_bounds_plot(self, mpdash_result):
+        short = session_report(mpdash_result, pattern_window=10.0)
+        assert "first 10s" in short
+
+    def test_full_session_window(self, mpdash_result):
+        report = session_report(mpdash_result, pattern_window=None)
+        assert "Throughput patterns" in report
+
+    def test_width_controls_strip(self, mpdash_result):
+        narrow = session_report(mpdash_result, width=40)
+        wide = session_report(mpdash_result, width=200)
+        assert max(len(line) for line in narrow.splitlines()) <= \
+            max(len(line) for line in wide.splitlines())

@@ -1,0 +1,107 @@
+"""Tests for the RobustMPC error-discounting extension."""
+
+import pytest
+
+from repro.abr import Mpc, make_abr
+from repro.abr.base import AbrContext
+from repro.dash.events import ChunkRecord
+from repro.dash.manifest import Manifest
+from repro.dash.media import VideoAsset
+from repro.experiments import SessionConfig, run_session
+from repro.net.units import mbps
+
+
+@pytest.fixture
+def manifest():
+    asset = VideoAsset.generate("m", 4.0, 600.0,
+                                [0.58, 1.01, 1.47, 2.41, 3.94], seed=0)
+    return Manifest(asset)
+
+
+def chunk(throughput):
+    return ChunkRecord(index=0, level=0, size=1e6, duration=4.0,
+                       requested_at=0.0, completed_at=1.0,
+                       throughput=throughput)
+
+
+def ctx(manifest, current_level, buffer_level):
+    return AbrContext(manifest=manifest, buffer_level=buffer_level,
+                      buffer_capacity=40.0, next_chunk_index=10,
+                      current_level=current_level, in_startup=False)
+
+
+class TestRobustDiscounting:
+    def test_factory_alias(self):
+        abr = make_abr("robust-mpc")
+        assert isinstance(abr, Mpc)
+        assert abr.robust
+
+    def test_no_errors_no_discount(self, manifest):
+        plain = Mpc()
+        robust = Mpc(robust=True)
+        for abr in (plain, robust):
+            for _ in range(5):
+                abr.on_chunk_downloaded(chunk(mbps(3.0)))
+        context = ctx(manifest, 2, 25.0)
+        assert plain._prediction(context) == pytest.approx(
+            robust._prediction(context), rel=0.01)
+
+    def test_over_prediction_discounts_future(self, manifest):
+        robust = Mpc(robust=True)
+        # Stable fast samples establish an optimistic prediction...
+        for _ in range(5):
+            robust.on_chunk_downloaded(chunk(mbps(6.0)))
+        robust._prediction(ctx(manifest, 2, 25.0))  # records a prediction
+        # ...then the network collapses: the prediction was 3x too high.
+        robust.on_chunk_downloaded(chunk(mbps(2.0)))
+        discounted = robust._prediction(ctx(manifest, 2, 25.0))
+        plain = Mpc()
+        for _ in range(5):
+            plain.on_chunk_downloaded(chunk(mbps(6.0)))
+        plain.on_chunk_downloaded(chunk(mbps(2.0)))
+        undiscounted = plain._prediction(ctx(manifest, 2, 25.0))
+        assert discounted < undiscounted
+
+    def test_under_prediction_not_penalized(self, manifest):
+        robust = Mpc(robust=True)
+        for _ in range(3):
+            robust.on_chunk_downloaded(chunk(mbps(2.0)))
+        robust._prediction(ctx(manifest, 2, 25.0))
+        # Faster than predicted: no error recorded.
+        robust.on_chunk_downloaded(chunk(mbps(6.0)))
+        assert max(robust._recent_errors, default=0.0) == 0.0
+
+    def test_error_window_slides(self, manifest):
+        robust = Mpc(robust=True, window=3)
+        for _ in range(10):
+            robust._prediction(ctx(manifest, 2, 25.0))
+            robust.on_chunk_downloaded(chunk(mbps(1.0)))
+        assert len(robust._recent_errors) <= 3
+
+    def test_reset_clears_errors(self, manifest):
+        robust = Mpc(robust=True)
+        robust.on_chunk_downloaded(chunk(mbps(3.0)))
+        robust._prediction(ctx(manifest, 2, 25.0))
+        robust.on_chunk_downloaded(chunk(mbps(1.0)))
+        robust.reset()
+        assert robust._recent_errors == []
+        assert robust._last_prediction is None
+
+
+class TestEndToEnd:
+    def test_robust_mpc_session_completes_without_stalls(self):
+        result = run_session(SessionConfig(
+            video="big_buck_bunny", abr="robust-mpc", mpdash=True,
+            deadline_mode="rate", wifi_mbps=3.8, lte_mbps=3.0,
+            video_duration=120.0))
+        assert result.finished
+        assert result.metrics.stall_count == 0
+
+    def test_robust_no_less_conservative_than_plain(self):
+        levels = {}
+        for name in ("mpc", "robust-mpc"):
+            result = run_session(SessionConfig(
+                video="big_buck_bunny", abr=name, mpdash=False,
+                wifi_mbps=2.2, lte_mbps=1.2, video_duration=120.0))
+            levels[name] = result.metrics.mean_bitrate
+        assert levels["robust-mpc"] <= levels["mpc"] * 1.05

@@ -1,0 +1,101 @@
+"""Property-based tests of the scheduling core (hypothesis).
+
+These pin the invariants the paper's §4 argument rests on, across randomly
+drawn workloads rather than hand-picked points:
+
+* feasible deadlines are met by the online algorithm;
+* the clairvoyant oracle never uses more cellular than the online
+  algorithm (it is the optimum for N=2);
+* on constant-rate paths the oracle's cellular usage equals the analytic
+  deficit ``max(0, S − R_wifi · D)``.
+"""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.tracesim import simulate_online, simulate_oracle
+from repro.net.units import mbps
+
+SLOT = 0.05
+
+rates = st.floats(min_value=0.5, max_value=30.0)
+sizes = st.floats(min_value=0.5e6, max_value=30e6)
+
+
+def constant(rate_mbps):
+    return [mbps(rate_mbps)] * 4000
+
+
+class TestFeasibilityProperties:
+    @given(wifi=rates, lte=rates, size=sizes,
+           slack=st.floats(min_value=1.1, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_feasible_deadline_is_met(self, wifi, lte, size, slack):
+        """Deadline = slack x the combined-capacity lower bound."""
+        deadline = slack * size / (mbps(wifi) + mbps(lte))
+        assume(deadline > 20 * SLOT)  # sub-second deadlines quantize away
+        result = simulate_online(constant(wifi), constant(lte), SLOT, size,
+                                 deadline)
+        # One slot of tolerance: decisions update once per slot, so a
+        # knife-edge deadline can slip by less than a slot.
+        assert result.miss_by <= SLOT
+        assert result.finish_time <= deadline + SLOT
+        assert result.total_bytes == pytest.approx(size, rel=1e-9)
+
+    @given(wifi=rates, lte=rates, size=sizes,
+           slack=st.floats(min_value=1.1, max_value=3.0))
+    @settings(max_examples=60, deadline=None)
+    def test_oracle_never_uses_more_cellular_than_online(self, wifi, lte,
+                                                         size, slack):
+        deadline = slack * size / (mbps(wifi) + mbps(lte))
+        assume(deadline > 20 * SLOT)
+        oracle = simulate_oracle(constant(wifi), constant(lte), SLOT, size,
+                                 deadline)
+        online = simulate_online(constant(wifi), constant(lte), SLOT, size,
+                                 deadline)
+        # Quantization slack on both axes: decisions update per slot, and
+        # the online run may finish up to one slot past the deadline —
+        # gaining one slot of WiFi the oracle did not have.
+        assert oracle.bytes_per_path["cellular"] <= \
+            online.bytes_per_path["cellular"] + mbps(wifi + lte) * SLOT
+
+    @given(wifi=rates, lte=rates, size=sizes,
+           slack=st.floats(min_value=1.2, max_value=4.0))
+    @settings(max_examples=60, deadline=None)
+    def test_oracle_matches_analytic_deficit(self, wifi, lte, size, slack):
+        deadline = slack * size / (mbps(wifi) + mbps(lte))
+        assume(deadline > 5 * SLOT)
+        oracle = simulate_oracle(constant(wifi), constant(lte), SLOT, size,
+                                 deadline)
+        deficit = max(0.0, size - mbps(wifi) * deadline)
+        tolerance = mbps(wifi + lte) * SLOT * 2
+        assert oracle.bytes_per_path["cellular"] == pytest.approx(
+            deficit, abs=tolerance)
+
+    @given(wifi=rates, lte=rates, size=sizes)
+    @settings(max_examples=40, deadline=None)
+    def test_infeasible_instances_still_complete(self, wifi, lte, size):
+        """A deadline below even the combined-capacity bound is missed,
+        but the transfer always finishes afterwards on all paths."""
+        deadline = 0.5 * size / (mbps(wifi) + mbps(lte))
+        assume(deadline > 3 * SLOT)
+        result = simulate_online(constant(wifi), constant(lte), SLOT, size,
+                                 deadline)
+        assert result.missed
+        assert result.total_bytes == pytest.approx(size, rel=1e-9)
+
+    @given(wifi=rates, lte=rates, size=sizes,
+           slack=st.floats(min_value=1.2, max_value=2.5),
+           alpha_low=st.floats(min_value=0.5, max_value=0.8))
+    @settings(max_examples=40, deadline=None)
+    def test_alpha_monotonicity(self, wifi, lte, size, slack, alpha_low):
+        deadline = slack * size / (mbps(wifi) + mbps(lte))
+        assume(deadline > 5 * SLOT)
+        conservative = simulate_online(constant(wifi), constant(lte), SLOT,
+                                       size, deadline, alpha=alpha_low)
+        trusting = simulate_online(constant(wifi), constant(lte), SLOT,
+                                   size, deadline, alpha=1.0)
+        assert conservative.bytes_per_path["cellular"] >= \
+            trusting.bytes_per_path["cellular"] - 1.0
+        assert conservative.finish_time <= trusting.finish_time + SLOT

@@ -1,0 +1,62 @@
+"""Tests for the subflow wrapper."""
+
+import pytest
+
+from repro.estimators import Ewma
+from repro.mptcp.subflow import Subflow
+from repro.net.link import Path
+from repro.net.trace import BandwidthTrace
+from repro.net.units import mbps
+
+
+def _path(enabled=True, bw=mbps(8.0)):
+    return Path("wifi", BandwidthTrace.constant(bw), rtt=0.05,
+                enabled=enabled)
+
+
+class TestDelivery:
+    def test_disabled_path_delivers_nothing(self):
+        sf = Subflow(_path(enabled=False))
+        assert sf.deliverable(0.0, 0.01) == 0.0
+        assert sf.advance(0.0, 0.01, sending=True) == 0.0
+
+    def test_enabled_path_delivers(self):
+        sf = Subflow(_path())
+        assert sf.advance(0.0, 0.01, sending=True) > 0.0
+
+    def test_account_accumulates_total(self):
+        sf = Subflow(_path())
+        sf.account(100.0, 0.01)
+        sf.account(50.0, 0.01)
+        assert sf.total_bytes == 150.0
+
+
+class TestEstimation:
+    def test_estimate_cold_before_samples(self):
+        sf = Subflow(_path())
+        assert sf.throughput_estimate() is None
+
+    def test_estimate_warms_after_enough_busy_time(self):
+        sf = Subflow(_path())
+        # Feed one full sample interval of activity at 1 MB/s.
+        for _ in range(10):
+            sf.account(10_000.0, 0.01)
+        assert sf.throughput_estimate() == pytest.approx(1e6, rel=0.01)
+
+    def test_custom_estimator_used(self):
+        sf = Subflow(_path(), estimator=Ewma(alpha=1.0))
+        for _ in range(10):
+            sf.account(5_000.0, 0.01)
+        assert sf.throughput_estimate() == pytest.approx(5e5, rel=0.01)
+
+    def test_idle_ticks_do_not_feed_estimator(self):
+        sf = Subflow(_path())
+        sf.account(0.0, 0.01)
+        assert sf.throughput_estimate() is None
+
+    def test_reset_tcp(self):
+        sf = Subflow(_path())
+        sf.advance(0.0, 1.0, sending=True)
+        sf.reset_tcp()
+        assert sf.tcp.cwnd == pytest.approx(sf.tcp.cwnd)
+        assert sf.tcp.last_send_time is None

@@ -1,0 +1,46 @@
+"""Tests for table formatting helpers."""
+
+import pytest
+
+from repro.experiments.tables import (format_table, joules, mb, mbps_str,
+                                      pct)
+
+
+class TestFormatTable:
+    def test_aligned_output(self):
+        text = format_table(["name", "value"],
+                            [["wifi", 1.5], ["cellular", 20.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_title_prepended(self):
+        text = format_table(["a"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ValueError):
+            format_table([], [])
+
+    def test_floats_formatted(self):
+        text = format_table(["x"], [[1.23456]])
+        assert "1.23" in text
+
+
+class TestFormatters:
+    def test_pct(self):
+        assert pct(0.593) == "59.3%"
+        assert pct(-0.05) == "-5.0%"
+
+    def test_mb(self):
+        assert mb(2_500_000) == "2.50MB"
+
+    def test_joules(self):
+        assert joules(123.456) == "123.5J"
+
+    def test_mbps(self):
+        assert mbps_str(1e6) == "8.00Mbps"

@@ -1,0 +1,98 @@
+"""Statistical properties of the synthetic trace generators.
+
+The field-study substitution (DESIGN.md) rests on the generators having
+the right *texture*, not just the right mean: open WiFi wanders with
+temporal correlation, mobility follows the walking loop, dropouts floor
+the rate.  These tests quantify those properties.
+"""
+
+import numpy as np
+import pytest
+
+from repro.net.trace import BandwidthTrace
+from repro.net.units import mbps
+
+
+def autocorrelation(samples, lag):
+    x = np.asarray(samples, dtype=float)
+    x = x - x.mean()
+    denominator = float(np.dot(x, x))
+    if denominator == 0:
+        return 0.0
+    return float(np.dot(x[:-lag], x[lag:]) / denominator)
+
+
+class TestTexture:
+    def test_random_walk_is_temporally_correlated(self):
+        """AR(1) wandering: adjacent samples correlate strongly."""
+        walk = BandwidthTrace.random_walk(mbps(5.0), 0.3, 600.0, 0.5,
+                                          seed=1)
+        samples = walk.samples(0.5, 600.0)
+        assert autocorrelation(samples, 1) > 0.5
+
+    def test_gaussian_is_white(self):
+        """Independent Gaussian samples: negligible lag-1 correlation."""
+        gauss = BandwidthTrace.gaussian(mbps(5.0), 0.3, 600.0, 0.5, seed=1)
+        samples = gauss.samples(0.5, 600.0)
+        assert abs(autocorrelation(samples, 1)) < 0.15
+
+    def test_random_walk_smoother_than_gaussian(self):
+        """Step-to-step movement is smaller for the walk at equal sigma."""
+        walk = BandwidthTrace.random_walk(mbps(5.0), 0.3, 600.0, 0.5,
+                                          seed=2)
+        gauss = BandwidthTrace.gaussian(mbps(5.0), 0.3, 600.0, 0.5, seed=2)
+
+        def mean_step(trace):
+            samples = trace.samples(0.5, 600.0)
+            return float(np.mean(np.abs(np.diff(samples))))
+
+        assert mean_step(walk) < mean_step(gauss)
+
+    def test_sigma_controls_spread(self):
+        calm = BandwidthTrace.gaussian(mbps(5.0), 0.1, 600.0, 0.5, seed=3)
+        wild = BandwidthTrace.gaussian(mbps(5.0), 0.4, 600.0, 0.5, seed=3)
+        assert np.std(wild.samples(0.5, 600.0)) > \
+            2 * np.std(calm.samples(0.5, 600.0))
+
+
+class TestMobilityTexture:
+    def test_loop_period_visible_in_autocorrelation(self):
+        """The walk's loop period shows as a correlation peak at one
+        period and a trough at half a period."""
+        trace = BandwidthTrace.mobility_walk(mbps(5.0), mbps(1.0),
+                                             period=60.0, duration=600.0,
+                                             seed=4)
+        samples = trace.samples(1.0, 600.0)
+        at_period = autocorrelation(samples, 60)
+        at_half = autocorrelation(samples, 30)
+        assert at_period > 0.5
+        assert at_half < -0.3
+
+    def test_floor_and_peak_respected(self):
+        trace = BandwidthTrace.mobility_walk(mbps(5.0), mbps(1.0),
+                                             period=60.0, duration=300.0,
+                                             seed=5, jitter_fraction=0.0)
+        samples = trace.samples(0.5, 300.0)
+        assert min(samples) >= mbps(1.0) * 0.9
+        assert max(samples) <= mbps(5.0) * 1.1
+
+
+class TestDropoutTexture:
+    def test_dropout_floors_rate_inside_window_only(self):
+        base = BandwidthTrace.random_walk(mbps(6.0), 0.2, 100.0, 0.5,
+                                          seed=6)
+        trace = BandwidthTrace.with_dropouts(base, [(30.0, 40.0)],
+                                             floor_bytes_per_s=mbps(0.5))
+        inside = trace.samples(0.5, 100.0)[60:80]
+        outside = trace.samples(0.5, 100.0)[:60]
+        assert all(s == mbps(0.5) for s in inside)
+        assert np.mean(outside) > mbps(3.0)
+
+    def test_multiple_dropouts(self):
+        base = BandwidthTrace.constant(mbps(5.0))
+        base.duration = 100.0
+        trace = BandwidthTrace.with_dropouts(
+            base, [(10.0, 15.0), (50.0, 60.0)], floor_bytes_per_s=0.0)
+        assert trace.bandwidth_at(12.0) == 0.0
+        assert trace.bandwidth_at(55.0) == 0.0
+        assert trace.bandwidth_at(30.0) == mbps(5.0)

@@ -1,0 +1,121 @@
+"""Tests for the trace-driven scheduling simulator (§7.2.2 / Table 2)."""
+
+import pytest
+
+from repro.core.tracesim import simulate_online, simulate_oracle
+from repro.estimators import Ewma
+from repro.net.units import mbps, megabytes
+
+SLOT = 0.05
+
+
+def constant(rate_mbps, slots=2000):
+    return [mbps(rate_mbps)] * slots
+
+
+class TestValidation:
+    def test_bad_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_online(constant(1), constant(1), SLOT, 1e6, 10.0,
+                            alpha=0.0)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_online(constant(1), constant(1), 0.0, 1e6, 10.0)
+        with pytest.raises(ValueError):
+            simulate_online(constant(1), constant(1), SLOT, -1.0, 10.0)
+        with pytest.raises(ValueError):
+            simulate_oracle(constant(1), constant(1), SLOT, 1e6, 0.0)
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_online([], constant(1), SLOT, 1e6, 10.0)
+
+
+class TestOnline:
+    def test_no_cellular_when_wifi_sufficient(self):
+        result = simulate_online(constant(8.0), constant(8.0), SLOT,
+                                 megabytes(5), 10.0)
+        assert result.bytes_per_path["cellular"] == 0.0
+        assert not result.missed
+        assert result.finish_time <= 10.0
+
+    def test_cellular_fills_the_gap(self):
+        # 5 MB in 8s needs 5 Mbps; WiFi gives 3.8.
+        result = simulate_online(constant(3.8), constant(3.0), SLOT,
+                                 megabytes(5), 8.0)
+        assert result.bytes_per_path["cellular"] > 0
+        assert not result.missed
+        assert result.finish_time <= 8.0 + SLOT
+
+    def test_total_bytes_equal_size(self):
+        result = simulate_online(constant(3.8), constant(3.0), SLOT,
+                                 megabytes(5), 8.0)
+        assert result.total_bytes == pytest.approx(megabytes(5), rel=1e-9)
+
+    def test_longer_deadline_less_cellular(self):
+        shares = {}
+        for deadline in (8.0, 9.0, 10.0):
+            result = simulate_online(constant(3.8), constant(3.0), SLOT,
+                                     megabytes(5), deadline)
+            shares[deadline] = result.fraction_on("cellular")
+        assert shares[8.0] > shares[9.0] > shares[10.0]
+
+    def test_infeasible_deadline_missed_then_finishes(self):
+        result = simulate_online(constant(1.0), constant(1.0), SLOT,
+                                 megabytes(5), 2.0)
+        assert result.missed
+        assert result.miss_by > 0
+        assert result.total_bytes == pytest.approx(megabytes(5))
+
+    def test_custom_estimator_accepted(self):
+        result = simulate_online(constant(3.8), constant(3.0), SLOT,
+                                 megabytes(5), 8.0,
+                                 estimator_factory=lambda: Ewma(0.5))
+        assert not result.missed
+
+    def test_smaller_alpha_uses_more_cellular(self):
+        tight = simulate_online(constant(3.8), constant(3.0), SLOT,
+                                megabytes(5), 10.0, alpha=0.8)
+        loose = simulate_online(constant(3.8), constant(3.0), SLOT,
+                                megabytes(5), 10.0, alpha=1.0)
+        assert tight.bytes_per_path["cellular"] >= \
+            loose.bytes_per_path["cellular"]
+
+
+class TestOracle:
+    def test_oracle_meets_feasible_deadline(self):
+        result = simulate_oracle(constant(3.8), constant(3.0), SLOT,
+                                 megabytes(5), 8.0)
+        assert not result.missed
+        assert result.finish_time <= 8.0 + SLOT
+
+    def test_oracle_never_worse_than_online_on_constant_traces(self):
+        for deadline in (8.0, 9.0, 10.0):
+            oracle = simulate_oracle(constant(3.8), constant(3.0), SLOT,
+                                     megabytes(5), deadline)
+            online = simulate_online(constant(3.8), constant(3.0), SLOT,
+                                     megabytes(5), deadline)
+            assert oracle.bytes_per_path["cellular"] <= \
+                online.bytes_per_path["cellular"] + 1.0
+
+    def test_oracle_matches_fluid_optimum_on_constant_traces(self):
+        # Deficit = S - wifi_capacity(D): 5 MB - 3.8 Mbps * 8s = 1.2 MB.
+        result = simulate_oracle(constant(3.8), constant(3.0), SLOT,
+                                 megabytes(5), 8.0)
+        deficit = megabytes(5) - mbps(3.8) * 8.0
+        assert result.bytes_per_path["cellular"] == pytest.approx(
+            deficit, rel=0.05)
+
+    def test_oracle_no_cellular_when_not_needed(self):
+        result = simulate_oracle(constant(8.0), constant(8.0), SLOT,
+                                 megabytes(5), 10.0)
+        assert result.bytes_per_path["cellular"] == 0.0
+
+    def test_oracle_on_fluctuating_trace_still_meets_deadline(self):
+        import numpy as np
+        rng = np.random.default_rng(3)
+        wifi = list(rng.uniform(mbps(2.0), mbps(6.0), 400))
+        cell = list(rng.uniform(mbps(2.0), mbps(4.0), 400))
+        result = simulate_oracle(wifi, cell, SLOT, megabytes(5), 9.0)
+        assert not result.missed

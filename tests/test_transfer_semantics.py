@@ -1,0 +1,82 @@
+"""Tests for transfer availability (proxy watermark) and rate sampling."""
+
+import pytest
+
+from repro.mptcp.connection import MptcpConnection, Transfer
+from repro.mptcp.subflow import Subflow
+from repro.net.link import Path, cellular_path, wifi_path
+from repro.net.simulator import Simulator
+from repro.net.trace import BandwidthTrace
+from repro.net.units import mbps, megabytes
+
+
+class TestSendable:
+    def test_defaults_to_remaining(self):
+        transfer = Transfer(1000.0)
+        assert transfer.sendable == 1000.0
+        transfer.add("wifi", 400.0)
+        assert transfer.sendable == 600.0
+
+    def test_available_caps_sendable(self):
+        transfer = Transfer(1000.0)
+        transfer.available = 300.0
+        assert transfer.sendable == 300.0
+        transfer.add("wifi", 300.0)
+        assert transfer.sendable == 0.0
+        transfer.available = 1000.0
+        assert transfer.sendable == 700.0
+
+    def test_available_never_negative(self):
+        transfer = Transfer(1000.0)
+        transfer.available = 100.0
+        transfer.add("wifi", 150.0)  # relay raced slightly ahead
+        assert transfer.sendable == 0.0
+
+    def test_connection_respects_watermark(self):
+        """A transfer with a frozen watermark stops at it."""
+        sim = Simulator()
+        conn = MptcpConnection(sim, [wifi_path(bandwidth_mbps=8.0),
+                                     cellular_path(bandwidth_mbps=8.0)])
+        transfer = conn.start_transfer(megabytes(2))
+        transfer.available = 500_000.0
+        sim.run(until=20.0)
+        assert not transfer.complete
+        assert transfer.bytes_done == pytest.approx(500_000.0, abs=5_000)
+        # Raising the watermark lets it finish.
+        transfer.available = None
+        sim.run(until=40.0)
+        assert transfer.complete
+
+
+class TestAppLimitedSampling:
+    def make_subflow(self):
+        return Subflow(Path("wifi", BandwidthTrace.constant(mbps(8.0)),
+                            rtt=0.05))
+
+    def test_network_limited_samples_feed_estimator(self):
+        sf = self.make_subflow()
+        for _ in range(10):
+            sf.account(10_000.0, 0.01, budget=10_000.0)
+        assert sf.throughput_estimate() == pytest.approx(1e6, rel=0.01)
+
+    def test_app_limited_crumbs_excluded(self):
+        """A tiny delivery against a big budget is application-limited and
+        must not poison the estimate (the last sliver of a chunk)."""
+        sf = self.make_subflow()
+        for _ in range(10):
+            sf.account(10_000.0, 0.01, budget=10_000.0)
+        before = sf.throughput_estimate()
+        for _ in range(20):
+            sf.account(50.0, 0.01, budget=10_000.0)  # 0.5% of budget
+        assert sf.throughput_estimate() == before
+
+    def test_no_budget_means_always_sampled(self):
+        sf = self.make_subflow()
+        for _ in range(10):
+            sf.account(5_000.0, 0.01)
+        assert sf.throughput_estimate() == pytest.approx(5e5, rel=0.01)
+
+    def test_total_bytes_counted_regardless(self):
+        sf = self.make_subflow()
+        sf.account(50.0, 0.01, budget=10_000.0)
+        assert sf.total_bytes == 50.0

@@ -1,0 +1,42 @@
+"""Tests for unit conversion helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import units
+
+
+def test_mbps_to_bytes():
+    assert units.mbps(8.0) == pytest.approx(1e6)
+
+
+def test_kbps_to_bytes():
+    assert units.kbps(8.0) == pytest.approx(1e3)
+
+
+def test_megabytes():
+    assert units.megabytes(5) == 5_000_000
+
+
+def test_milliseconds():
+    assert units.milliseconds(50) == pytest.approx(0.05)
+
+
+def test_to_megabytes():
+    assert units.to_megabytes(2_500_000) == pytest.approx(2.5)
+
+
+@given(st.floats(min_value=0.0, max_value=1e6))
+def test_mbps_roundtrip(value):
+    assert units.to_mbps(units.mbps(value)) == pytest.approx(value)
+
+
+@given(st.floats(min_value=0.0, max_value=1e9))
+def test_to_mbps_inverse(bytes_per_s):
+    assert units.mbps(units.to_mbps(bytes_per_s)) == pytest.approx(
+        bytes_per_s)
+
+
+def test_packet_size_is_mtu_scale():
+    assert 1000 < units.PACKET_SIZE <= 1500

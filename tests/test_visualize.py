@@ -1,0 +1,73 @@
+"""Tests for the text visualizations."""
+
+import pytest
+
+from repro.analysis.analyzer import ChunkView
+from repro.analysis.visualize import chunk_timeline, sparkline, \
+    throughput_plot
+
+
+def view(index, level, cellular):
+    return ChunkView(index=index, level=level, start=index * 4.0,
+                     end=index * 4.0 + 2.0, size=1e6,
+                     cellular_fraction=cellular)
+
+
+class TestChunkTimeline:
+    def test_renders_every_chunk(self):
+        chunks = [view(i, i % 5, 0.0) for i in range(10)]
+        text = chunk_timeline(chunks)
+        assert text.count(".") >= 10  # one no-cellular marker per chunk
+
+    def test_cellular_fraction_digit(self):
+        text = chunk_timeline([view(0, 4, 0.73)])
+        assert "7" in text.splitlines()[0]
+
+    def test_zero_cellular_marked_with_dot(self):
+        text = chunk_timeline([view(0, 4, 0.0)])
+        assert "." in text.splitlines()[0]
+
+    def test_legend_present(self):
+        assert "levels:" in chunk_timeline([view(0, 0, 0.0)])
+
+    def test_wraps_long_sessions(self):
+        chunks = [view(i, 0, 0.0) for i in range(200)]
+        lines = chunk_timeline(chunks, width=50).splitlines()
+        assert len(lines) > 3
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_timeline([view(0, 0, 0.0)], width=2)
+
+
+class TestSparkline:
+    def test_length_matches_input(self):
+        assert len(sparkline([1.0, 2.0, 3.0])) == 3
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_monotone_values_monotone_glyphs(self):
+        line = sparkline([0.0, 5.0, 10.0])
+        assert line[0] <= line[1] <= line[2]
+
+    def test_all_zero(self):
+        assert sparkline([0.0, 0.0]) == "  "
+
+
+class TestThroughputPlot:
+    def test_includes_labels_and_means(self):
+        series = [("wifi", [1e6] * 50), ("lte", [5e5] * 50)]
+        text = throughput_plot(series, interval=0.1)
+        assert "wifi" in text and "lte" in text
+        assert "Mbps" in text
+
+    def test_downsamples_long_series(self):
+        series = [("wifi", [1e6] * 10_000)]
+        text = throughput_plot(series, interval=0.1, width=40)
+        first_line = text.splitlines()[0]
+        assert len(first_line) < 100
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ValueError):
+            throughput_plot([("a", [1.0])], 0.1, width=3)
