@@ -17,9 +17,10 @@ from typing import Dict, List, Optional, Tuple
 
 from ..dash.events import PlayerEventLog
 from ..energy.devices import DevicePowerProfile, GALAXY_NOTE
-from ..energy.model import session_energy
+from ..energy.model import session_energy, session_radio_events
 from ..mptcp.activity import ActivityLog
 from ..net.link import CELLULAR
+from ..obs.events import RadioStateChange
 from .metrics import SessionMetrics, compute_metrics, path_utilization
 
 
@@ -61,6 +62,20 @@ class MultipathVideoAnalyzer:
         self.session_duration = session_duration
         self.device = device
 
+    @classmethod
+    def from_trace(cls, trace, device: Optional[DevicePowerProfile] = None
+                   ) -> "MultipathVideoAnalyzer":
+        """Rebuild the analyzer offline from an exported JSONL trace.
+
+        ``trace`` is a :class:`repro.obs.trace_export.Trace` (as returned
+        by ``load_jsonl``): the event stream is replayed into fresh
+        bus-subscribed logs, so the offline analyzer sees exactly what the
+        live one did.
+        """
+        from ..obs.trace_export import analyzer_from_trace
+
+        return analyzer_from_trace(trace, device)
+
     # ------------------------------------------------------------------
     def metrics(self, steady_state_fraction: float = 0.0) -> SessionMetrics:
         energy = session_energy(self.activity, self.device,
@@ -100,6 +115,12 @@ class MultipathVideoAnalyzer:
         if self.session_duration - cursor >= min_duration:
             gaps.append(IdleGap(cursor, self.session_duration))
         return gaps
+
+    def radio_timeline(self) -> List[RadioStateChange]:
+        """Every interface's idle/active/tail transitions, time-ordered —
+        the energy model's view of the session as typed events."""
+        return session_radio_events(self.activity, self.device,
+                                    self.session_duration)
 
     def utilization(self) -> Dict[str, float]:
         """Per-path fraction of session time with data on the wire."""

@@ -6,6 +6,8 @@ equivalent entry point, plus runners for the common experiments::
     python -m repro stream --abr festive --mpdash --wifi 3.8 --lte 3.0
     python -m repro compare --abr bba-c --wifi 2.2 --lte 1.2
     python -m repro download --size-mb 5 --deadline 10
+    python -m repro trace --out run.jsonl --mpdash
+    python -m repro trace --load run.jsonl --diff other.jsonl
     python -m repro locations
     python -m repro videos
 """
@@ -13,15 +15,19 @@ equivalent entry point, plus runners for the common experiments::
 from __future__ import annotations
 
 import argparse
+import json
+from dataclasses import asdict
 from typing import List, Optional
 
 from .abr import abr_names
+from .analysis.metrics import SessionMetrics
 from .analysis.report import session_report
 from .core.deadlines import DEADLINE_MODES, RATE_BASED
 from .experiments import (BASELINE, DURATION, FileDownloadConfig, RATE,
                           SessionConfig, run_file_download, run_schemes,
                           run_session)
 from .experiments.tables import format_table, pct
+from .obs import Trace, dump_jsonl, load_jsonl, metrics_from_trace
 from .workloads import VIDEO_LADDERS, field_study_locations, video_names
 
 
@@ -64,6 +70,29 @@ def build_parser() -> argparse.ArgumentParser:
     download.add_argument("--deadline", type=float, default=10.0)
     download.add_argument("--alpha", type=float, default=1.0)
     download.add_argument("--no-mpdash", action="store_true")
+
+    trace = commands.add_parser(
+        "trace", help="capture, replay, and diff JSONL session traces")
+    _add_network_args(trace)
+    trace.add_argument("--video", default="big_buck_bunny",
+                       choices=video_names())
+    trace.add_argument("--abr", default="festive", choices=abr_names())
+    trace.add_argument("--mpdash", action="store_true",
+                       help="enable the MP-DASH scheduler")
+    trace.add_argument("--deadline-mode", default=RATE_BASED,
+                       choices=list(DEADLINE_MODES))
+    trace.add_argument("--alpha", type=float, default=1.0)
+    trace.add_argument("--duration", type=float, default=300.0,
+                       help="video length to stream, seconds")
+    trace.add_argument("--out", metavar="FILE",
+                       help="export the captured trace as JSONL")
+    trace.add_argument("--load", metavar="FILE",
+                       help="analyze an existing trace offline instead of "
+                            "running a session")
+    trace.add_argument("--diff", metavar="FILE",
+                       help="second trace to compare metrics against")
+    trace.add_argument("--json", action="store_true",
+                       help="machine-readable output instead of tables")
 
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
@@ -156,6 +185,98 @@ def cmd_download(args: argparse.Namespace) -> int:
     return 0
 
 
+def _trace_summary(source: str, trace: Trace,
+                   metrics: SessionMetrics) -> dict:
+    """The structured description ``repro trace`` reports per trace."""
+    return {
+        "source": source,
+        "meta": asdict(trace.meta),
+        "events": {"total": len(trace.events),
+                   "by_type": trace.count_by_type()},
+        "metrics": asdict(metrics),
+    }
+
+
+def _print_trace_summary(summary: dict) -> None:
+    metrics = summary["metrics"]
+    meta = summary["meta"]
+    rows = [["events", summary["events"]["total"]],
+            ["session duration s", f"{meta['session_duration']:.2f}"],
+            ["cellular MB",
+             f"{metrics['bytes_per_path'].get('cellular', 0.0) / 1e6:.2f}"],
+            ["energy J", f"{metrics['energy_total']:.1f}"],
+            ["mean bitrate Mbps", f"{metrics['mean_bitrate'] * 8 / 1e6:.2f}"],
+            ["quality switches", metrics["quality_switches"]],
+            ["stalls", metrics["stall_count"]],
+            ["chunks", metrics["chunk_count"]]]
+    print(format_table(["metric", "value"], rows,
+                       title=f"trace {summary['source']}"))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Capture a session's event stream, or analyze/diff exported ones.
+
+    Three modes: run-and-capture (optionally ``--out`` to a JSONL file),
+    ``--load`` to re-run the analyzer offline on an exported trace, and
+    ``--diff`` to compare a second trace's metrics against the first.
+    """
+    if args.load is not None:
+        try:
+            trace = load_jsonl(args.load)
+        except (OSError, ValueError) as exc:
+            print(f"repro trace: cannot load {args.load}: {exc}")
+            return 1
+        if args.out is not None:
+            dump_jsonl(args.out, trace.events, trace.meta)
+        summary = _trace_summary(args.load, trace, metrics_from_trace(trace))
+    else:
+        config = SessionConfig(
+            video=args.video, abr=args.abr, mpdash=args.mpdash,
+            deadline_mode=args.deadline_mode, alpha=args.alpha,
+            wifi_mbps=args.wifi, lte_mbps=args.lte,
+            wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
+            video_duration=args.duration, record_trace=True)
+        result = run_session(config)
+        if args.out is not None:
+            result.export_trace(args.out)
+        trace = Trace(meta=result.trace_meta, events=result.events)
+        summary = _trace_summary("live", trace, result.metrics)
+
+    if args.diff is not None:
+        try:
+            other = load_jsonl(args.diff)
+        except (OSError, ValueError) as exc:
+            print(f"repro trace: cannot load {args.diff}: {exc}")
+            return 1
+        other_summary = _trace_summary(args.diff, other,
+                                       metrics_from_trace(other))
+        scalars = ("energy_total", "stall_count", "total_stall_time",
+                   "quality_switches", "mean_bitrate", "session_duration",
+                   "chunk_count")
+        delta = {key: other_summary["metrics"][key] - summary["metrics"][key]
+                 for key in scalars}
+        report = {"a": summary, "b": other_summary, "delta": delta}
+        if args.json:
+            print(json.dumps(report, sort_keys=True))
+        else:
+            _print_trace_summary(summary)
+            _print_trace_summary(other_summary)
+            print(format_table(
+                ["metric", "a", "b", "delta"],
+                [[key, summary["metrics"][key], other_summary["metrics"][key],
+                  delta[key]] for key in scalars],
+                title="trace diff (b - a)"))
+        return 0
+
+    if args.json:
+        print(json.dumps(summary, sort_keys=True))
+    else:
+        _print_trace_summary(summary)
+        if args.out is not None:
+            print(f"trace written to {args.out}")
+    return 0
+
+
 def cmd_locations(_args: argparse.Namespace) -> int:
     rows = [[loc.name, loc.scenario, loc.wifi_mbps, loc.wifi_rtt_ms,
              loc.lte_mbps, loc.lte_rtt_ms]
@@ -180,6 +301,7 @@ _COMMANDS = {
     "stream": cmd_stream,
     "compare": cmd_compare,
     "download": cmd_download,
+    "trace": cmd_trace,
     "locations": cmd_locations,
     "videos": cmd_videos,
 }

@@ -35,6 +35,7 @@ from typing import Optional
 from ..abr.base import BUFFER_BASED
 from ..dash.events import ChunkRecord
 from ..dash.player import DashPlayer, PlayerAddon
+from ..obs.events import DeadlineExtended
 from .deadlines import RATE_BASED, compute_deadline, extend_deadline
 from .socket_api import MpDashSocket
 
@@ -91,8 +92,13 @@ class MpDashAdapter(PlayerAddon):
         deadline = compute_deadline(self.deadline_mode, size,
                                     player.manifest.chunk_duration, nominal)
         if self.extension_enabled:
-            deadline = extend_deadline(deadline, player.buffer.level,
+            extended = extend_deadline(deadline, player.buffer.level,
                                        self.phi(player))
+            if extended != deadline:
+                player.bus.publish(DeadlineExtended(
+                    player.sim.now, deadline, extended,
+                    player.buffer.level))
+            deadline = extended
         return deadline
 
     def phi(self, player: DashPlayer) -> float:

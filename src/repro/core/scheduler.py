@@ -28,6 +28,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..mptcp.connection import MptcpConnection, PathController, Transfer
+from ..obs.events import DeadlineMissed, SchedulerActivated
 from .policy import Preference
 
 
@@ -95,6 +96,8 @@ class DeadlineAwareScheduler(PathController):
         self._pending = None
         self._activation = Activation(size, window, now, transfer.id)
         self.activations += 1
+        connection.bus.publish(SchedulerActivated(now, transfer.id, size,
+                                                  window))
 
     def on_transfer_complete(self, now: float, transfer: Transfer,
                              connection: MptcpConnection) -> None:
@@ -121,6 +124,7 @@ class DeadlineAwareScheduler(PathController):
             if not activation.missed:
                 activation.missed = True
                 self.deadline_misses += 1
+                connection.bus.publish(DeadlineMissed(now, transfer.id))
             self._activation = None
             return {name: True for name in connection.path_names()}
 

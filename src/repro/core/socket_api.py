@@ -25,6 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..mptcp.connection import MptcpConnection
+from ..obs.events import DeadlineArmed, DeadlineDisarmed
 from .policy import Preference
 from .scheduler import DeadlineAwareScheduler
 
@@ -65,6 +66,8 @@ class MpDashSocket:
         "turns off the cellular subflow at the beginning").
         """
         self.scheduler.arm(size, deadline)
+        self.connection.bus.publish(DeadlineArmed(self.connection.sim.now,
+                                                  size, deadline))
         for name in self.connection.path_names():
             self.connection.request_path_state(
                 name, name == self.preference.primary)
@@ -73,6 +76,8 @@ class MpDashSocket:
         """Explicitly deactivate MP-DASH; MPTCP reverts to vanilla behaviour
         with every interface available."""
         self.scheduler.disarm()
+        self.connection.bus.publish(
+            DeadlineDisarmed(self.connection.sim.now))
         for name in self.connection.path_names():
             self.connection.request_path_state(name, True)
 

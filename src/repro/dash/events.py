@@ -11,6 +11,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs import events as obs_events
+from ..obs.bus import EventBus
+
 # Event kinds.
 REQUEST = "request"
 DOWNLOADED = "downloaded"
@@ -75,13 +78,56 @@ class StallRecord:
 
 
 class PlayerEventLog:
-    """Append-only event log with typed accessors."""
+    """Append-only event log with typed accessors.
+
+    Either fed directly through :meth:`record`/:meth:`record_chunk`, or
+    attached to the session bus with :meth:`attach`, where it rebuilds the
+    same entries from the player's typed events — which is how both the
+    live player log and the offline trace-replay log are produced.
+    """
 
     def __init__(self) -> None:
         self.events: List[PlayerEvent] = []
         self.chunks: List[ChunkRecord] = []
         self.stalls: List[StallRecord] = []
         self._open_stall: Optional[float] = None
+
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe to the player-layer events on ``bus``."""
+        ev = obs_events
+        bus.subscribe(ev.ChunkRequested, lambda e: self.record(
+            e.time, REQUEST, index=e.index, level=e.level))
+        bus.subscribe(ev.MpDashArmed, lambda e: self.record(
+            e.time, MPDASH_ARMED, index=e.index, deadline=e.deadline))
+        bus.subscribe(ev.MpDashSkipped, lambda e: self.record(
+            e.time, MPDASH_SKIPPED, index=e.index, deadline=-1.0))
+        bus.subscribe(ev.QualitySwitched, lambda e: self.record(
+            e.time, QUALITY_SWITCH, from_level=e.from_level,
+            to_level=e.to_level))
+        bus.subscribe(ev.ChunkDownloaded, self._on_chunk_downloaded)
+        bus.subscribe(ev.PlaybackStarted,
+                      lambda e: self.record(e.time, PLAY_START))
+        bus.subscribe(ev.StallStart,
+                      lambda e: self.record(e.time, STALL_START))
+        bus.subscribe(ev.StallEnd, lambda e: self.record(e.time, STALL_END))
+        bus.subscribe(ev.PlaybackEnded, self._on_playback_ended)
+        bus.subscribe(ev.SessionClosed, lambda e: self.close(e.time))
+
+    def _on_chunk_downloaded(self, event: "obs_events.ChunkDownloaded"
+                             ) -> None:
+        self.record(event.time, DOWNLOADED, index=event.index,
+                    level=event.level, size=event.size)
+        self.record_chunk(ChunkRecord(
+            index=event.index, level=event.level, size=event.size,
+            duration=event.duration, requested_at=event.requested_at,
+            completed_at=event.time, throughput=event.throughput,
+            bytes_per_path=dict(event.bytes_per_path),
+            deadline=event.deadline,
+            buffer_at_request=event.buffer_at_request))
+
+    def _on_playback_ended(self, event: "obs_events.PlaybackEnded") -> None:
+        self.record(event.time, PLAYBACK_END)
+        self.close(event.time)
 
     def record(self, time: float, kind: str, **detail: float) -> None:
         self.events.append(PlayerEvent(time, kind, detail))

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
 from ..mptcp.connection import MptcpConnection, Transfer
+from ..obs.events import HttpRequestSent, HttpResponseReceived
 
 
 @dataclass(frozen=True)
@@ -73,10 +74,14 @@ class HttpClient:
         bytes.
         """
         self.requests_sent += 1
+        bus = self.connection.bus
+        sim = self.connection.sim
         request = HttpRequest(path)
+        bus.publish(HttpRequestSent(sim.now, path))
         size = self._resolver(path)
         if size is None:
             response = HttpResponse(request, 404, {"Content-Length": "0"})
+            bus.publish(HttpResponseReceived(sim.now, path, 404, 0))
             on_complete(response)
             return response
         body_bytes = int(round(size))
@@ -84,7 +89,11 @@ class HttpClient:
             request, 200, {"Content-Length": str(body_bytes)})
         if before_transfer is not None:
             before_transfer(response)
-        response.transfer = self._fetcher(
-            body_bytes, tag=path,
-            on_complete=lambda _transfer: on_complete(response))
+
+        def _done(_transfer: Transfer) -> None:
+            bus.publish(HttpResponseReceived(sim.now, path, 200, body_bytes))
+            on_complete(response)
+
+        response.transfer = self._fetcher(body_bytes, tag=path,
+                                          on_complete=_done)
         return response

@@ -16,12 +16,13 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from ..net.simulator import Simulator
+from ..obs.events import (ChunkDownloaded, ChunkRequested, MpDashArmed,
+                          MpDashSkipped, PlaybackEnded, PlaybackStarted,
+                          QualitySwitched, StallEnd, StallStart)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from ..abr.base import AbrAlgorithm, AbrContext
-from .events import (DOWNLOADED, MPDASH_ARMED, MPDASH_SKIPPED, PLAY_START,
-                     PLAYBACK_END, QUALITY_SWITCH, REQUEST, STALL_END,
-                     STALL_START, ChunkRecord, PlayerEventLog)
+from .events import ChunkRecord, PlayerEventLog
 from .http import HttpClient, HttpResponse
 from .manifest import Manifest
 
@@ -80,7 +81,11 @@ class DashPlayer:
         self.resume_threshold = (resume_threshold if resume_threshold
                                  is not None else default_threshold)
         self.tick_interval = tick_interval
+        # The player narrates the session onto the bus; its event log is
+        # just the first subscriber (the analyzer-facing view).
+        self.bus = sim.bus
         self.log = PlayerEventLog()
+        self.log.attach(self.bus)
         self.buffer_samples: List[Tuple[float, float]] = []
 
         self._next_index = 0
@@ -129,7 +134,8 @@ class DashPlayer:
         url = self.manifest.chunk_url(level, index)
         requested_at = self.sim.now
         buffer_at_request = self.buffer.level
-        self.log.record(requested_at, REQUEST, index=index, level=level)
+        self.bus.publish(ChunkRequested(requested_at, index, level,
+                                        buffer_at_request))
 
         deadline_holder = {}
 
@@ -137,9 +143,10 @@ class DashPlayer:
             size = float(response.content_length)
             deadline = self.addon.on_chunk_request(self, level, size)
             deadline_holder["deadline"] = deadline
-            kind = MPDASH_ARMED if deadline is not None else MPDASH_SKIPPED
-            self.log.record(self.sim.now, kind, index=index,
-                            deadline=deadline if deadline is not None else -1.0)
+            if deadline is not None:
+                self.bus.publish(MpDashArmed(self.sim.now, index, deadline))
+            else:
+                self.bus.publish(MpDashSkipped(self.sim.now, index))
 
         def on_complete(response: HttpResponse) -> None:
             if not response.ok:
@@ -183,20 +190,20 @@ class DashPlayer:
         now = self.sim.now
         transfer = response.transfer
         elapsed = max(now - requested_at, 1e-9)
-        record = ChunkRecord(
-            index=index, level=level, size=float(response.content_length),
+        if self._current_level is not None and level != self._current_level:
+            self.bus.publish(QualitySwitched(now, self._current_level,
+                                             level))
+        self._current_level = level
+        self.bus.publish(ChunkDownloaded(
+            now, index=index, level=level,
+            size=float(response.content_length),
             duration=self.manifest.chunk_duration,
-            requested_at=requested_at, completed_at=now,
+            requested_at=requested_at,
             throughput=float(response.content_length) / elapsed,
             bytes_per_path=dict(transfer.per_path) if transfer else {},
-            deadline=deadline, buffer_at_request=buffer_at_request)
-        if self._current_level is not None and level != self._current_level:
-            self.log.record(now, QUALITY_SWITCH,
-                            from_level=self._current_level, to_level=level)
-        self._current_level = level
-        self.log.record(now, DOWNLOADED, index=index, level=level,
-                        size=record.size)
-        self.log.record_chunk(record)
+            deadline=deadline, buffer_at_request=buffer_at_request))
+        # The log subscriber just materialized the canonical ChunkRecord.
+        record = self.log.chunks[-1]
         self.buffer.add(self.manifest.chunk_duration)
         self.abr.on_chunk_downloaded(record)
         self.addon.on_chunk_downloaded(self, record)
@@ -214,7 +221,7 @@ class DashPlayer:
 
     def _begin_playback(self) -> None:
         self._playing = True
-        self.log.record(self.sim.now, PLAY_START)
+        self.bus.publish(PlaybackStarted(self.sim.now))
 
     # ------------------------------------------------------------------
     # Playout clock
@@ -231,18 +238,17 @@ class DashPlayer:
                     self._end_playback()
                 elif played < self.tick_interval - 1e-9:
                     self._stalled = True
-                    self.log.record(now, STALL_START)
+                    self.bus.publish(StallStart(now))
         elif self._stalled:
             if (self.buffer.level >= self.resume_threshold
                     or (self._downloads_done and self.buffer.level > 0)):
                 self._stalled = False
-                self.log.record(now, STALL_END)
+                self.bus.publish(StallEnd(now))
         self._maybe_request()
 
     def _end_playback(self) -> None:
         self.finished = True
-        self.log.record(self.sim.now, PLAYBACK_END)
-        self.log.close(self.sim.now)
+        self.bus.publish(PlaybackEnded(self.sim.now))
         if self._ticker is not None:
             self._ticker.stop()
 

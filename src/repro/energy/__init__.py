@@ -2,10 +2,11 @@
 
 from .devices import (DEVICES, GALAXY_NOTE, GALAXY_S3, DevicePowerProfile,
                       InterfacePowerProfile)
-from .model import EnergyBreakdown, interface_energy, session_energy
+from .model import (EnergyBreakdown, interface_energy, radio_state_events,
+                    session_energy, session_radio_events)
 
 __all__ = [
     "DEVICES", "DevicePowerProfile", "EnergyBreakdown", "GALAXY_NOTE",
     "GALAXY_S3", "InterfacePowerProfile", "interface_energy",
-    "session_energy",
+    "radio_state_events", "session_energy", "session_radio_events",
 ]

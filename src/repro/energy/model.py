@@ -23,9 +23,11 @@ plus tails and idles at ~31 mW in between.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, List
 
 from ..mptcp.activity import ActivityLog
+from ..obs.events import (RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
+                          RadioStateChange)
 from .devices import DevicePowerProfile, InterfacePowerProfile
 
 
@@ -90,6 +92,56 @@ def interface_energy(activity: ActivityLog, path: str,
         breakdown.tail += tail * profile.tail_power
         breakdown.idle += max(0.0, gap - tail) * profile.idle_power
     return breakdown
+
+
+def radio_state_events(activity: ActivityLog, path: str,
+                       profile: InterfacePowerProfile,
+                       session_end: float) -> List[RadioStateChange]:
+    """The radio's idle/active/tail transitions as typed bus events.
+
+    Walks the same binned timeline :func:`interface_energy` charges:
+    ``active → tail`` at each burst end, ``tail → idle`` when the tail
+    expires before the next burst, and back to ``active`` at the next
+    burst.  Every ``active`` transition that follows an ``idle`` one
+    (including the first) is a promotion :func:`interface_energy` charged.
+    """
+    if session_end <= 0:
+        raise ValueError(f"session_end must be positive: {session_end!r}")
+    times, values = activity.series(path, until=session_end)
+    width = activity.bin_width
+    events: List[RadioStateChange] = []
+    last_burst_end = None
+    for start, num_bytes in zip(times, values):
+        if num_bytes <= 0:
+            continue
+        if last_burst_end is None:
+            events.append(RadioStateChange(start, path, RADIO_ACTIVE))
+        elif start > last_burst_end:
+            events.append(RadioStateChange(last_burst_end, path,
+                                           RADIO_TAIL))
+            tail_end = last_burst_end + profile.tail_time
+            if start > tail_end:
+                events.append(RadioStateChange(tail_end, path, RADIO_IDLE))
+            events.append(RadioStateChange(start, path, RADIO_ACTIVE))
+        last_burst_end = start + width
+    if last_burst_end is not None:
+        events.append(RadioStateChange(last_burst_end, path, RADIO_TAIL))
+        tail_end = last_burst_end + profile.tail_time
+        if session_end > tail_end:
+            events.append(RadioStateChange(tail_end, path, RADIO_IDLE))
+    return events
+
+
+def session_radio_events(activity: ActivityLog, device: DevicePowerProfile,
+                         session_end: float) -> List[RadioStateChange]:
+    """Radio transitions for every interface, merged in time order."""
+    merged: List[RadioStateChange] = []
+    for path in activity.paths():
+        merged.extend(radio_state_events(activity, path,
+                                         device.for_interface(path),
+                                         session_end))
+    merged.sort(key=lambda e: (e.time, e.path))
+    return merged
 
 
 def session_energy(activity: ActivityLog, device: DevicePowerProfile,

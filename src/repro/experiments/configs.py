@@ -66,6 +66,9 @@ class SessionConfig:
     device: str = "galaxy_note"
     steady_state_fraction: float = 0.2
     max_sim_time: Optional[float] = None
+    #: Record the session's full typed event stream (repro.obs); the
+    #: result then carries the events and can export a JSONL trace.
+    record_trace: bool = False
 
     def __post_init__(self) -> None:
         if self.deadline_mode not in DEADLINE_MODES:

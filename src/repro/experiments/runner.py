@@ -10,7 +10,7 @@ transfer (the §7.2 scheduler evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import IO, Dict, List, Optional, Union
 
 from ..abr import make_abr
 from ..analysis.analyzer import MultipathVideoAnalyzer
@@ -26,6 +26,8 @@ from ..energy.model import EnergyBreakdown, session_energy
 from ..mptcp.connection import MptcpConnection
 from ..net.link import cellular_path, wifi_path
 from ..net.simulator import Simulator
+from ..obs.events import SessionClosed, TraceEvent
+from ..obs.trace_export import TraceMeta, TraceRecorder, dump_jsonl
 from ..workloads.videos import video_asset
 from .configs import FileDownloadConfig, SessionConfig
 
@@ -43,6 +45,25 @@ class SessionResult:
     player: DashPlayer
     socket: Optional[MpDashSocket] = None
     adapter: Optional[MpDashAdapter] = None
+    #: The session's full typed event stream; populated when the config
+    #: set ``record_trace`` (see :mod:`repro.obs`).
+    events: Optional[List[TraceEvent]] = None
+
+    @property
+    def trace_meta(self) -> TraceMeta:
+        return TraceMeta(
+            session_duration=self.session_duration,
+            activity_bin=self.connection.activity.bin_width,
+            steady_state_fraction=self.config.steady_state_fraction,
+            device=self.config.device)
+
+    def export_trace(self, path_or_file: Union[str, IO[str]]) -> None:
+        """Dump the recorded event stream as a JSONL trace."""
+        if self.events is None:
+            raise ValueError(
+                "session was run without record_trace=True; no events "
+                "to export")
+        dump_jsonl(path_or_file, self.events, self.trace_meta)
 
     @property
     def scheduler_stats(self) -> Dict[str, int]:
@@ -83,6 +104,7 @@ def _build_paths(config) -> list:
 def run_session(config: SessionConfig) -> SessionResult:
     """Simulate one streaming session to completion (or the time cap)."""
     sim = Simulator()
+    recorder = TraceRecorder(sim.bus) if config.record_trace else None
     paths = _build_paths(config)
     connection = MptcpConnection(
         sim, paths, scheduler=config.mptcp_scheduler,
@@ -115,8 +137,8 @@ def run_session(config: SessionConfig) -> SessionResult:
     while not player.finished and sim.now < cap:
         sim.run(until=min(sim.now + 5.0, cap))
     connection.close()
-    if not player.finished:
-        player.log.close(sim.now)
+    # Terminal event: closes any open stall and timestamps session end.
+    sim.bus.publish(SessionClosed(sim.now))
     session_duration = sim.now
 
     device = DEVICES[config.device]
@@ -128,7 +150,8 @@ def run_session(config: SessionConfig) -> SessionResult:
                          finished=player.finished,
                          session_duration=session_duration,
                          connection=connection, player=player,
-                         socket=socket, adapter=adapter)
+                         socket=socket, adapter=adapter,
+                         events=recorder.events if recorder else None)
 
 
 @dataclass
@@ -179,7 +202,8 @@ def run_file_download(config: FileDownloadConfig) -> FileDownloadResult:
     def on_complete(_transfer) -> None:
         done["finished_at"] = sim.now
 
-    connection.start_transfer(config.size, tag="file", on_complete=on_complete)
+    transfer = connection.start_transfer(config.size, tag="file",
+                                         on_complete=on_complete)
     cap = config.deadline * 10 + 60.0
     while done["finished_at"] is None and sim.now < cap:
         sim.run(until=min(sim.now + 1.0, cap))
@@ -194,7 +218,7 @@ def run_file_download(config: FileDownloadConfig) -> FileDownloadResult:
     device = DEVICES[config.device]
     horizon = duration + device.lte.tail_time
     energy = session_energy(connection.activity, device, horizon)
-    bytes_per_path = {sf.name: sf.total_bytes for sf in connection.subflows}
     return FileDownloadResult(
-        config=config, duration=duration, bytes_per_path=bytes_per_path,
+        config=config, duration=duration,
+        bytes_per_path=dict(transfer.per_path),
         energy=energy, missed_deadline=duration > config.deadline)

@@ -9,17 +9,54 @@ state (the paper's Figure 6 contrasts exactly these patterns).
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.bus import EventBus, Handler
+from ..obs.events import PacketSent
 
 
 class ActivityLog:
-    """Bytes per path per fixed-width time bin."""
+    """Bytes per path per fixed-width time bin.
+
+    Lives either standalone (tests feed it with :meth:`record`) or as a
+    subscriber of the session bus via :meth:`attach`, where it bins every
+    :class:`~repro.obs.events.PacketSent` the transport publishes.
+    """
 
     def __init__(self, bin_width: float = 0.1):
         if bin_width <= 0:
             raise ValueError(f"bin_width must be positive: {bin_width!r}")
         self.bin_width = bin_width
         self._bins: Dict[str, Dict[int, float]] = {}
+
+    def attach(self, bus: EventBus, conn: Optional[int] = None) -> Handler:
+        """Subscribe to ``PacketSent`` on ``bus``.
+
+        ``conn`` restricts the view to one connection's packets (several
+        connections may share a simulator, e.g. behind a splitting proxy).
+        Returns the handler so callers can ``bus.unsubscribe`` it.
+        """
+        # :meth:`record` inlined: this is the hottest subscription in a
+        # session (one call per path per activity bin).
+        bin_width = self.bin_width
+        bins = self._bins
+        if conn is None:
+            def _on_packet(event: PacketSent) -> None:
+                num_bytes = event.num_bytes
+                if num_bytes <= 0:
+                    return
+                per_path = bins.setdefault(event.path, {})
+                index = int(event.time / bin_width)
+                per_path[index] = per_path.get(index, 0.0) + num_bytes
+        else:
+            def _on_packet(event: PacketSent) -> None:
+                num_bytes = event.num_bytes
+                if event.conn != conn or num_bytes <= 0:
+                    return
+                per_path = bins.setdefault(event.path, {})
+                index = int(event.time / bin_width)
+                per_path[index] = per_path.get(index, 0.0) + num_bytes
+        return bus.subscribe(PacketSent, _on_packet)
 
     def record(self, time: float, path: str, num_bytes: float) -> None:
         """Record ``num_bytes`` carried by ``path`` at ``time``."""

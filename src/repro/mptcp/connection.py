@@ -23,6 +23,9 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..estimators import ThroughputEstimator
 from ..net.link import Path
 from ..net.simulator import Simulator
+from ..obs.events import (PathStateRequested, SubflowStateChange,
+                          TransferCompleted, TransferStarted,
+                          new_packet_sent)
 from .activity import ActivityLog
 from .options import SignalChannel
 from .schedulers import MptcpScheduler, make_scheduler
@@ -35,14 +38,14 @@ _EPSILON = 0.5
 class Transfer:
     """One request/response exchange (e.g. a video chunk download)."""
 
-    _next_id = 0
-
     def __init__(self, total_bytes: float, tag: str = "",
                  on_complete: Optional[Callable[["Transfer"], None]] = None):
         if total_bytes <= 0:
             raise ValueError(f"transfer size must be positive: {total_bytes!r}")
-        Transfer._next_id += 1
-        self.id = Transfer._next_id
+        #: Position in the owning connection's request sequence (assigned
+        #: by ``start_transfer``; 0 for a standalone transfer).  Together
+        #: with the connection id this names the transfer in trace events.
+        self.id = 0
         self.tag = tag
         self.total_bytes = float(total_bytes)
         self.bytes_done = 0.0
@@ -134,18 +137,31 @@ class MptcpConnection:
         names = [p.name for p in paths]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate path names: {names}")
+        self.id = sim.next_id()
         self.sim = sim
+        self.bus = sim.bus
         self.tick_interval = tick_interval
         self.subflows: List[Subflow] = [
             Subflow(p, estimator_factory() if estimator_factory else None,
                     reconnect_delay=(1.5 * p.rtt if subflow_reestablish
-                                     else 0.0))
+                                     else 0.0),
+                    bus=self.bus, conn=self.id)
             for p in paths
         ]
         self._by_name = {sf.name: sf for sf in self.subflows}
         self.scheduler: MptcpScheduler = make_scheduler(scheduler)
         self.controller: Optional[PathController] = None
         self.activity = ActivityLog(activity_bin)
+        self.activity.attach(self.bus, conn=self.id)
+        self._bin_width = self.activity.bin_width
+        # Last *effective* (server-side) and last *requested* (client-side)
+        # state per path, for flip detection on the bus.
+        self._effective = {p.name: p.enabled for p in paths}
+        self._requested = {p.name: p.enabled for p in paths}
+        # Open PacketSent aggregates: path -> [bin_index, first_time,
+        # bytes].  Flushed when the path's deliveries cross into the next
+        # activity bin, and on close().
+        self._open_bins: Dict[str, list] = {}
         # The primary path carries the DSS signaling; default delay one
         # primary-path RTT (pass 0 to study instantaneous signaling).
         self.primary = self.subflows[0]
@@ -157,6 +173,7 @@ class MptcpConnection:
             for sf in self.subflows
         }
         self._queue: List[Transfer] = []
+        self._transfer_count = 0
         self._active: Optional[Transfer] = None
         self._activating = False
         self._ticker = sim.call_every(tick_interval, self._on_tick)
@@ -169,6 +186,8 @@ class MptcpConnection:
                        ) -> Transfer:
         """Issue a request for ``total_bytes``; data flows one RTT later."""
         transfer = Transfer(total_bytes, tag, on_complete)
+        self._transfer_count += 1
+        transfer.id = self._transfer_count
         transfer.requested_at = self.sim.now
         self._queue.append(transfer)
         if self._active is None:
@@ -189,6 +208,9 @@ class MptcpConnection:
         self._activating = False
         transfer.started_at = self.sim.now
         self._active = transfer
+        self.bus.publish(TransferStarted(
+            self.sim.now, transfer.id, transfer.tag, transfer.total_bytes,
+            self.id))
         if self.controller is not None:
             self.controller.on_transfer_start(self.sim.now, transfer, self)
 
@@ -208,6 +230,10 @@ class MptcpConnection:
         """Client-side decision; takes effect after the signaling delay."""
         if name not in self._signals:
             raise KeyError(f"unknown path {name!r}")
+        if enabled != self._requested[name]:
+            self._requested[name] = enabled
+            self.bus.publish(PathStateRequested(self.sim.now, name, enabled,
+                                                self.id))
         self._signals[name].send(self.sim.now, enabled)
 
     def path_state(self, name: str) -> bool:
@@ -252,7 +278,12 @@ class MptcpConnection:
         dt = self.tick_interval
         # 1. Apply in-flight enable/disable decisions at the server.
         for subflow in self.subflows:
-            subflow.path.enabled = self._signals[subflow.name].current(now)
+            enabled = self._signals[subflow.name].current(now)
+            subflow.path.enabled = enabled
+            if enabled != self._effective[subflow.name]:
+                self._effective[subflow.name] = enabled
+                self.bus.publish(SubflowStateChange(now, subflow.name,
+                                                    enabled, self.id))
             subflow.notice_state(now)
 
         transfer = self._active
@@ -268,6 +299,8 @@ class MptcpConnection:
             enabled = [sf for sf in self.subflows if sf.path.enabled]
             allocation = self.scheduler.allocate(transfer.sendable, enabled,
                                                  budgets)
+            bin_index = int(now / self._bin_width)
+            open_bins = self._open_bins
             for subflow in enabled:
                 delivered = allocation.get(subflow.name, 0.0)
                 if delivered <= 0:
@@ -275,7 +308,17 @@ class MptcpConnection:
                 subflow.account(delivered, dt,
                                 budget=budgets.get(subflow.name))
                 transfer.add(subflow.name, delivered)
-                self.activity.record(now, subflow.name, delivered)
+                pending = open_bins.get(subflow.name)
+                if pending is None:
+                    open_bins[subflow.name] = [bin_index, now, delivered]
+                elif pending[0] == bin_index:
+                    pending[2] += delivered
+                else:
+                    self.bus.publish(new_packet_sent(
+                        pending[1], subflow.name, pending[2], self.id))
+                    pending[0] = bin_index
+                    pending[1] = now
+                    pending[2] = delivered
             if transfer.complete:
                 self._finish(transfer)
                 transfer = self._active  # may be None now
@@ -290,14 +333,32 @@ class MptcpConnection:
     def _finish(self, transfer: Transfer) -> None:
         transfer.finished_at = self.sim.now
         self._active = None
+        self.bus.publish(TransferCompleted(
+            self.sim.now, transfer.id, transfer.tag, transfer.total_bytes,
+            transfer.duration() or 0.0, self.id))
         if self.controller is not None:
             self.controller.on_transfer_complete(self.sim.now, transfer, self)
         if transfer.on_complete is not None:
             transfer.on_complete(transfer)
         self._activate_next()
 
+    def flush_activity(self) -> None:
+        """Publish any open per-path ``PacketSent`` aggregates.
+
+        Until a path's deliveries cross into the next activity bin, its
+        current bin rides in the connection; callers reading the activity
+        log mid-session should flush first.  :meth:`close` does this
+        automatically.
+        """
+        for name, pending in self._open_bins.items():
+            if pending[2] > 0:
+                self.bus.publish(new_packet_sent(pending[1], name,
+                                                 pending[2], self.id))
+        self._open_bins.clear()
+
     def close(self) -> None:
         """Stop the tick loop (ends the connection's simulation activity)."""
+        self.flush_activity()
         self._ticker.stop()
 
     def __repr__(self) -> str:

@@ -13,6 +13,8 @@ from typing import Optional
 from ..estimators import HoltWinters, ThroughputEstimator
 from ..net.link import Path
 from ..net.tcp import TcpState
+from ..obs.bus import EventBus
+from ..obs.events import CwndRestarted, SubflowReconnected
 
 
 #: Minimum window over which a throughput sample is formed before being fed
@@ -26,19 +28,27 @@ class Subflow:
 
     def __init__(self, path: Path,
                  estimator: Optional[ThroughputEstimator] = None,
-                 reconnect_delay: float = 0.0):
+                 reconnect_delay: float = 0.0,
+                 bus: Optional[EventBus] = None, conn: int = 0):
         """``reconnect_delay`` models the eMPTCP-style alternative to
         MP-DASH's skip-in-scheduler design: tearing the subflow down when
         disabled and re-establishing it on enable, paying a handshake delay
         and a congestion restart each time (§6 argues against this).  Zero
         (the default) gives MP-DASH's skip semantics: the subflow stays
         established and is merely skipped, so re-enabling is free.
+
+        ``bus``/``conn`` make the subflow observable: reconnects and TCP
+        idle restarts are published as typed events.
         """
         if reconnect_delay < 0:
             raise ValueError(
                 f"reconnect_delay cannot be negative: {reconnect_delay!r}")
         self.path = path
+        self.bus = bus
+        self.conn = conn
         self.tcp = TcpState(path.rtt)
+        if bus is not None:
+            self.tcp.on_idle_restart = self._publish_restart
         self.estimator = estimator if estimator is not None else HoltWinters()
         self.reconnect_delay = reconnect_delay
         self.total_bytes = 0
@@ -54,6 +64,9 @@ class Subflow:
     def name(self) -> str:
         return self.path.name
 
+    def _publish_restart(self, now: float) -> None:
+        self.bus.publish(CwndRestarted(now, self.name, self.conn))
+
     def notice_state(self, now: float) -> None:
         """Track enable/disable transitions for reconnect semantics."""
         enabled = self.path.enabled
@@ -62,6 +75,10 @@ class Subflow:
             self._usable_after = now + self.reconnect_delay
             self.tcp.reset()
             self.reconnects += 1
+            if self.bus is not None:
+                self.bus.publish(SubflowReconnected(now, self.name,
+                                                    self.reconnects,
+                                                    self.conn))
         self._was_enabled = enabled
 
     def _usable(self, now: float) -> bool:

@@ -7,6 +7,10 @@ scheduled on a :class:`Simulator`.
 
 Events fire in timestamp order; ties break in scheduling order, which keeps
 runs fully deterministic.
+
+The simulator also owns the session's :class:`~repro.obs.bus.EventBus`:
+every layer built on top publishes its typed trace events there, so one
+``sim.bus`` handle reaches the whole stack's event stream.
 """
 
 from __future__ import annotations
@@ -15,19 +19,29 @@ import heapq
 import itertools
 from typing import Any, Callable, Optional
 
+from ..obs.bus import EventBus
+
 
 class SimulationError(RuntimeError):
     """Raised when the simulation is driven into an invalid state."""
+
+
+#: Heaps smaller than this are never compacted: the scan costs more than
+#: the garbage.
+MIN_COMPACT_SIZE = 64
 
 
 class Event:
     """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
 
     Events may be cancelled; a cancelled event stays in the heap but is
-    skipped when popped (lazy deletion).
+    skipped when popped (lazy deletion).  The owning simulator counts its
+    cancelled entries and compacts the heap when they dominate, so
+    repeated schedule/cancel cycles (timeouts that almost never fire)
+    cannot grow the queue without bound.
     """
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_sim")
 
     def __init__(self, time: float, seq: int,
                  callback: Callable[..., Any], args: tuple):
@@ -36,10 +50,15 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent this event from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -57,6 +76,19 @@ class Simulator:
         self._heap: list[Event] = []
         self._seq = itertools.count()
         self._running = False
+        self._cancelled = 0
+        self._ids = itertools.count(1)
+        #: The session-wide typed event stream (see :mod:`repro.obs`).
+        self.bus = EventBus()
+
+    def next_id(self) -> int:
+        """Draw from the run-scoped id sequence (connection ids etc.).
+
+        Per-simulator rather than process-global so that two runs of the
+        same configuration name their objects identically — the property
+        that makes exported traces byte-identical across runs.
+        """
+        return next(self._ids)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -67,6 +99,7 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past: {delay!r}")
         event = Event(self.now + delay, next(self._seq), callback, args)
+        event._sim = self
         heapq.heappush(self._heap, event)
         return event
 
@@ -97,10 +130,13 @@ class Simulator:
                 event = self._heap[0]
                 if event.cancelled:
                     heapq.heappop(self._heap)
+                    event._sim = None
+                    self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                event._sim = None
                 if event.time < self.now - 1e-12:
                     raise SimulationError(
                         f"event at {event.time} is behind clock {self.now}")
@@ -117,7 +153,28 @@ class Simulator:
 
     def pending_events(self) -> int:
         """Number of scheduled, non-cancelled events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return len(self._heap) - self._cancelled
+
+    # ------------------------------------------------------------------
+    # Heap hygiene
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        self._cancelled += 1
+        if (len(self._heap) >= MIN_COMPACT_SIZE
+                and 2 * self._cancelled > len(self._heap)):
+            self.compact()
+
+    def compact(self) -> None:
+        """Drop cancelled entries and re-heapify.
+
+        Ordering is unaffected: live events keep their ``(time, seq)``
+        keys, so the pop order after compaction is identical.
+        """
+        if self._cancelled == 0:
+            return
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled = 0
 
 
 class PeriodicProcess:

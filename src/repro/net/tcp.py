@@ -47,6 +47,10 @@ class TcpState:
         self.cwnd = float(INITIAL_CWND)
         self.ssthresh = float("inf")
         self.last_send_time: float = None  # type: ignore[assignment]
+        #: Observability hook: called with ``now`` whenever the idle-restart
+        #: rule actually collapses the window (the subflow layer publishes a
+        #: ``CwndRestarted`` event through it).
+        self.on_idle_restart = None
 
     # ------------------------------------------------------------------
     def rate(self, available_bw: float) -> float:
@@ -100,6 +104,8 @@ class TcpState:
             halvings = min(int(idle / rto), 64)
             self.ssthresh = max(self.cwnd * 0.75, INITIAL_CWND)
             self.cwnd = max(self.cwnd / (2.0 ** halvings), INITIAL_CWND)
+            if self.on_idle_restart is not None:
+                self.on_idle_restart(now)
 
     def reset(self) -> None:
         """Return to the initial (connection-start) state."""

@@ -1,0 +1,43 @@
+"""Cross-layer observability: one typed event stream for the whole stack.
+
+Every layer of the reproduction — the simulation kernel, TCP, MPTCP
+subflows and their schedulers, the MP-DASH control plane, HTTP, the DASH
+player, and the energy model — publishes typed events onto a single
+:class:`~repro.obs.bus.EventBus` owned by the
+:class:`~repro.net.simulator.Simulator`.  The legacy per-layer records
+(:class:`~repro.mptcp.activity.ActivityLog`,
+:class:`~repro.dash.events.PlayerEventLog`) are subscribers of that bus,
+and :mod:`repro.obs.trace_export` turns the stream into a JSONL trace that
+can be dumped, reloaded, and replayed into the analysis tool offline.
+"""
+
+from .bus import EventBus
+from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
+                     ChunkDownloaded, ChunkRequested,
+                     CwndRestarted, DeadlineArmed, DeadlineDisarmed,
+                     DeadlineExtended, DeadlineMissed, HttpRequestSent,
+                     HttpResponseReceived, MpDashArmed, MpDashSkipped,
+                     PacketSent, PathStateRequested, PlaybackEnded,
+                     PlaybackStarted, QualitySwitched, RadioStateChange,
+                     SchedulerActivated, SessionClosed, StallEnd, StallStart,
+                     SubflowReconnected, SubflowStateChange, TraceEvent,
+                     TransferCompleted, TransferStarted, event_from_dict,
+                     event_to_dict)
+from .trace_export import (Trace, TraceMeta, TraceRecorder,
+                           analyzer_from_trace, dump_jsonl, dumps_jsonl,
+                           load_jsonl, loads_jsonl, metrics_from_trace,
+                           replay)
+
+__all__ = [
+    "EVENT_TYPES", "RADIO_ACTIVE", "RADIO_IDLE", "RADIO_TAIL", "ChunkDownloaded", "ChunkRequested", "CwndRestarted",
+    "DeadlineArmed", "DeadlineDisarmed", "DeadlineExtended",
+    "DeadlineMissed", "EventBus", "HttpRequestSent", "HttpResponseReceived",
+    "MpDashArmed", "MpDashSkipped", "PacketSent", "PathStateRequested",
+    "PlaybackEnded", "PlaybackStarted", "QualitySwitched",
+    "RadioStateChange", "SchedulerActivated", "SessionClosed", "StallEnd",
+    "StallStart", "SubflowReconnected", "SubflowStateChange", "Trace",
+    "TraceEvent", "TraceMeta", "TraceRecorder", "TransferCompleted",
+    "TransferStarted", "analyzer_from_trace", "dump_jsonl", "dumps_jsonl",
+    "event_from_dict", "event_to_dict", "load_jsonl", "loads_jsonl",
+    "metrics_from_trace", "replay",
+]

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -68,3 +70,53 @@ class TestCommands:
         assert "baseline" in out
         assert "rate" in out
         assert "cell saved" in out
+
+
+class TestTrace:
+    def test_trace_json_summary(self, capsys):
+        assert main(["trace", "--duration", "40", "--wifi", "8",
+                     "--lte", "8", "--mpdash", "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["source"] == "live"
+        assert summary["meta"]["session_duration"] > 0
+        assert summary["events"]["total"] == sum(
+            summary["events"]["by_type"].values())
+        assert summary["events"]["by_type"]["SessionClosed"] == 1
+        assert summary["metrics"]["chunk_count"] > 0
+
+    def test_trace_export_then_load_round_trip(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace", "--duration", "40", "--wifi", "8",
+                     "--lte", "8", "--mpdash", "--out", path,
+                     "--json"]) == 0
+        live = json.loads(capsys.readouterr().out)
+        assert main(["trace", "--load", path, "--json"]) == 0
+        offline = json.loads(capsys.readouterr().out)
+        # Offline analysis of the export reproduces the live run exactly.
+        assert offline["metrics"] == live["metrics"]
+        assert offline["events"] == live["events"]
+        assert offline["source"] == path
+
+    def test_trace_diff_reports_delta(self, tmp_path, capsys):
+        base = str(tmp_path / "vanilla.jsonl")
+        assert main(["trace", "--duration", "40", "--wifi", "8",
+                     "--lte", "8", "--out", base]) == 0
+        capsys.readouterr()
+        assert main(["trace", "--duration", "40", "--wifi", "8",
+                     "--lte", "8", "--mpdash", "--diff", base,
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report) == {"a", "b", "delta"}
+        assert report["a"]["source"] == "live"
+        assert report["b"]["source"] == base
+        for key, value in report["delta"].items():
+            assert value == (report["b"]["metrics"][key]
+                             - report["a"]["metrics"][key])
+
+    def test_trace_table_output(self, capsys):
+        assert main(["trace", "--duration", "40", "--wifi", "8",
+                     "--lte", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "trace live" in out
+        assert "events" in out
+        assert "energy J" in out

@@ -99,3 +99,30 @@ class TestConfigSweepTermination:
         assert result.finished
         assert result.metrics.total_bytes > 0
         assert result.metrics.radio_energy > 0
+
+
+class TestTraceDeterminism:
+    def test_same_config_byte_identical_trace(self):
+        """Two runs of the same configuration export byte-identical JSONL
+        traces — the property cross-run trace diffing rests on."""
+        from repro.obs import dumps_jsonl
+
+        a = run_session(short_config(record_trace=True))
+        b = run_session(short_config(record_trace=True))
+        text_a = dumps_jsonl(a.events, a.trace_meta)
+        text_b = dumps_jsonl(b.events, b.trace_meta)
+        assert text_a == text_b
+
+    def test_different_config_different_trace(self):
+        from repro.obs import dumps_jsonl
+
+        a = run_session(short_config(record_trace=True))
+        b = run_session(short_config(record_trace=True, mpdash=False))
+        assert dumps_jsonl(a.events, a.trace_meta) != \
+            dumps_jsonl(b.events, b.trace_meta)
+
+    def test_recording_does_not_perturb_the_run(self):
+        """Attaching the wildcard recorder must not change behaviour."""
+        a = run_session(short_config(record_trace=True))
+        b = run_session(short_config())
+        assert a.metrics == b.metrics

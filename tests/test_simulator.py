@@ -177,3 +177,62 @@ class TestPeriodicProcess:
         sim = Simulator()
         with pytest.raises(SimulationError):
             sim.call_every(0.0, lambda: None)
+
+
+class TestHeapCompaction:
+    def test_queue_stays_bounded_under_schedule_cancel_cycles(self):
+        """Timeouts that almost never fire (the schedule/cancel pattern)
+        must not grow the heap without bound."""
+        sim = Simulator()
+        keeper = sim.schedule(1e9, lambda: None)
+        for _ in range(10_000):
+            sim.schedule(1e6, lambda: None).cancel()
+        assert sim.pending_events() == 1
+        assert len(sim._heap) < 200
+        keeper.cancel()
+
+    def test_compaction_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        events = [sim.schedule(float(i), fired.append, i)
+                  for i in range(200)]
+        # Cancel most of the early ones to force a compaction.
+        for event in events[:150]:
+            if event.time % 2 == 0:
+                event.cancel()
+        for _ in range(500):
+            sim.schedule(1e6, lambda: None).cancel()
+        sim.run(until=300.0)
+        expected = [i for i in range(200) if not (i < 150 and i % 2 == 0)]
+        assert fired == expected
+
+    def test_pending_events_is_exact(self):
+        sim = Simulator()
+        events = [sim.schedule(float(i + 1), lambda: None)
+                  for i in range(10)]
+        assert sim.pending_events() == 10
+        events[3].cancel()
+        events[7].cancel()
+        events[7].cancel()  # double-cancel must not double-count
+        assert sim.pending_events() == 8
+        sim.run()
+        assert sim.pending_events() == 0
+
+    def test_cancel_after_fire_does_not_corrupt_count(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        event.cancel()  # already fired; must be a no-op
+        assert sim.pending_events() == 1
+
+    def test_explicit_compact_is_idempotent(self):
+        sim = Simulator()
+        live = sim.schedule(5.0, lambda: None)
+        for _ in range(10):
+            sim.schedule(1.0, lambda: None).cancel()
+        sim.compact()
+        sim.compact()
+        assert len(sim._heap) == 1
+        assert sim.pending_events() == 1
+        assert sim._heap[0] is live
