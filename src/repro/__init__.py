@@ -23,8 +23,9 @@ from .core import (DeadlineAwareScheduler, MpDashAdapter, MpDashSocket,
                    simulate_oracle, solve_offline)
 from .dash import DashPlayer, DashServer, Manifest, VideoAsset
 from .experiments import (FileDownloadConfig, SchemeComparison, SessionConfig,
-                          SessionResult, run_file_download, run_schemes,
-                          run_session)
+                          SessionResult, SessionSummary, SweepResult,
+                          expand_grid, run_file_download, run_schemes,
+                          run_session, run_sweep)
 from .mptcp import MptcpConnection
 from .net import (BandwidthTrace, Path, Simulator, cellular_path, mbps,
                   wifi_path)
@@ -38,9 +39,10 @@ __all__ = [
     "FileDownloadConfig", "Manifest", "MobilityScenario", "MpDashAdapter",
     "MpDashSocket", "MptcpConnection", "MultipathVideoAnalyzer", "Path",
     "Preference", "SchemeComparison", "SessionConfig", "SessionMetrics",
-    "SessionResult", "Simulator", "VideoAsset", "abr_names",
-    "cellular_path", "field_study_locations", "make_abr", "mbps",
+    "SessionResult", "SessionSummary", "Simulator", "SweepResult",
+    "VideoAsset", "abr_names", "cellular_path", "expand_grid",
+    "field_study_locations", "make_abr", "mbps",
     "prefer_cellular", "prefer_wifi", "run_file_download", "run_schemes",
-    "run_session", "simulate_online", "simulate_oracle", "solve_offline",
-    "table1_profiles", "video_asset", "wifi_path",
+    "run_session", "run_sweep", "simulate_online", "simulate_oracle",
+    "solve_offline", "table1_profiles", "video_asset", "wifi_path",
 ]

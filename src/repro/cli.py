@@ -5,6 +5,8 @@ equivalent entry point, plus runners for the common experiments::
 
     python -m repro stream --abr festive --mpdash --wifi 3.8 --lte 3.0
     python -m repro compare --abr bba-c --wifi 2.2 --lte 1.2
+    python -m repro sweep --grid wifi_mbps=2.2,3.8 --schemes baseline,rate \
+        --jobs 4 --cache-dir .sweep-cache
     python -m repro download --size-mb 5 --deadline 10
     python -m repro trace --out run.jsonl --mpdash
     python -m repro trace --load run.jsonl --diff other.jsonl
@@ -16,6 +18,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import sys
 from dataclasses import asdict
 from typing import List, Optional
 
@@ -24,10 +27,11 @@ from .analysis.metrics import SessionMetrics
 from .analysis.report import session_report
 from .core.deadlines import DEADLINE_MODES, RATE_BASED
 from .experiments import (BASELINE, DURATION, FileDownloadConfig, RATE,
-                          SessionConfig, run_file_download, run_schemes,
-                          run_session)
-from .experiments.tables import format_table, pct
-from .obs import Trace, dump_jsonl, load_jsonl, metrics_from_trace
+                          SessionConfig, expand_grid, run_file_download,
+                          run_schemes, run_session, run_sweep)
+from .experiments.tables import format_table, pct, sweep_table
+from .obs import (EventBus, SweepRunFailed, SweepRunFinished, Trace,
+                  dump_jsonl, load_jsonl, metrics_from_trace)
 from .workloads import VIDEO_LADDERS, field_study_locations, video_names
 
 
@@ -62,6 +66,40 @@ def build_parser() -> argparse.ArgumentParser:
                          choices=video_names())
     compare.add_argument("--abr", default="festive", choices=abr_names())
     compare.add_argument("--duration", type=float, default=300.0)
+    compare.add_argument("--jobs", type=int, default=1,
+                         help="run the schemes on this many processes")
+    compare.add_argument("--cache-dir", default=None,
+                        help="reuse cached session results from this "
+                             "directory")
+
+    sweep = commands.add_parser(
+        "sweep", help="run a config grid in parallel, with result caching")
+    _add_network_args(sweep)
+    sweep.add_argument("--video", default="big_buck_bunny",
+                       choices=video_names())
+    sweep.add_argument("--abr", default="festive", choices=abr_names())
+    sweep.add_argument("--duration", type=float, default=300.0,
+                       help="video length to stream, seconds")
+    sweep.add_argument("--grid", action="append", default=[],
+                       metavar="FIELD=V1,V2,...",
+                       help="sweep one SessionConfig field over a value "
+                            "list; repeatable, the grid is the cartesian "
+                            "product (e.g. --grid wifi_mbps=2.2,3.8 "
+                            "--grid alpha=0.8,1.0)")
+    sweep.add_argument("--schemes", default=None, metavar="S1,S2,...",
+                       help="shorthand for --grid scheme=... "
+                            f"(choices: {', '.join((BASELINE, DURATION, RATE))})")
+    sweep.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    sweep.add_argument("--cache-dir", default=None,
+                       help="directory for on-disk result caching")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-run wall-clock timeout, seconds")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="retries per failing run before recording a "
+                            "failure")
+    sweep.add_argument("--json", action="store_true",
+                       help="machine-readable report instead of a table")
 
     download = commands.add_parser(
         "download", help="one deadline-bounded file download")
@@ -147,7 +185,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         video=args.video, abr=args.abr, wifi_mbps=args.wifi,
         lte_mbps=args.lte, wifi_rtt_ms=args.wifi_rtt,
         lte_rtt_ms=args.lte_rtt, video_duration=args.duration)
-    comparison = run_schemes(base)
+    comparison = run_schemes(base, jobs=args.jobs,
+                             cache_dir=args.cache_dir)
     rows = []
     for scheme in (BASELINE, DURATION, RATE):
         metrics = comparison.results[scheme].metrics
@@ -164,6 +203,91 @@ def cmd_compare(args: argparse.Namespace) -> int:
          "cell saved", "LTE-energy saved"],
         rows, title=f"{args.video} / {args.abr} @ "
                     f"W{args.wifi}/L{args.lte} Mbps"))
+    return 0
+
+
+def _grid_value(text: str):
+    """Coerce one grid value: int, then float, bool, none, else string."""
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered in ("none", "null"):
+        return None
+    for kind in (int, float):
+        try:
+            return kind(text)
+        except ValueError:
+            pass
+    return text
+
+
+def parse_grid(specs) -> dict:
+    """``FIELD=V1,V2,...`` arguments -> an :func:`expand_grid` mapping."""
+    grid = {}
+    for spec in specs:
+        name, sep, values = spec.partition("=")
+        name = name.strip()
+        if not sep or not name or not values:
+            raise ValueError(
+                f"malformed --grid {spec!r} (expected FIELD=V1,V2,...)")
+        if name in grid:
+            raise ValueError(f"duplicate --grid field {name!r}")
+        grid[name] = [_grid_value(v.strip()) for v in values.split(",")]
+    return grid
+
+
+def _sweep_report(result) -> dict:
+    """The structured description ``repro sweep --json`` prints."""
+    runs = []
+    for run in result.runs:
+        entry = {"index": run.index, "key": run.config_key,
+                 "status": "ok" if run.ok else "failed",
+                 "cached": run.cached, "attempts": run.attempts,
+                 "elapsed": run.elapsed}
+        if run.summary is not None:
+            entry["summary"] = run.summary.to_dict()
+        if run.failure is not None:
+            entry["failure"] = run.failure.to_dict()
+        runs.append(entry)
+    return {"jobs": result.jobs, "wall_clock": result.wall_clock,
+            "total": len(result.runs),
+            "succeeded": sum(1 for r in result.runs if r.ok),
+            "failed": len(result.failures),
+            "cache_hits": result.cache_hits, "runs": runs}
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    base = SessionConfig(
+        video=args.video, abr=args.abr, wifi_mbps=args.wifi,
+        lte_mbps=args.lte, wifi_rtt_ms=args.wifi_rtt,
+        lte_rtt_ms=args.lte_rtt, video_duration=args.duration)
+    try:
+        grid = parse_grid(args.grid)
+        if args.schemes is not None:
+            if "scheme" in grid:
+                raise ValueError("--schemes conflicts with --grid scheme=")
+            grid["scheme"] = [s.strip() for s in args.schemes.split(",")]
+        configs = expand_grid(base, grid)
+    except ValueError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 2
+
+    bus = EventBus()
+    if not args.json:
+        total = len(configs)
+        bus.subscribe(SweepRunFinished, lambda e: print(
+            f"[{e.time:8.2f}s] run {e.index + 1}/{total} {e.key[:12]} "
+            f"{'cached' if e.cached else f'done in {e.elapsed:.2f}s'}"))
+        bus.subscribe(SweepRunFailed, lambda e: print(
+            f"[{e.time:8.2f}s] run {e.index + 1}/{total} {e.key[:12]} "
+            f"FAILED ({e.kind}, {e.attempts} attempt(s)): {e.error}"))
+    result = run_sweep(configs, jobs=args.jobs, cache_dir=args.cache_dir,
+                       timeout=args.timeout, retries=args.retries, bus=bus)
+    if args.json:
+        print(json.dumps(_sweep_report(result), sort_keys=True))
+    else:
+        print(sweep_table(result))
+    # Failures are data, not harness errors: the sweep completed.
     return 0
 
 
@@ -300,6 +424,7 @@ def cmd_videos(_args: argparse.Namespace) -> int:
 _COMMANDS = {
     "stream": cmd_stream,
     "compare": cmd_compare,
+    "sweep": cmd_sweep,
     "download": cmd_download,
     "trace": cmd_trace,
     "locations": cmd_locations,

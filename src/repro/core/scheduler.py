@@ -59,6 +59,10 @@ class DeadlineAwareScheduler(PathController):
         self.alpha = alpha
         self._pending: Optional[tuple] = None  # (size, window)
         self._activation: Optional[Activation] = None
+        # The connection this controller steers; bound explicitly by
+        # MpDashSocket and lazily by the PathController hooks, so that
+        # disarm() can restore path state even between transfers.
+        self._connection: Optional[MptcpConnection] = None
         # Statistics across the controller's lifetime.
         self.activations = 0
         self.deadline_misses = 0
@@ -76,10 +80,23 @@ class DeadlineAwareScheduler(PathController):
             raise ValueError(f"deadline window must be positive: {window!r}")
         self._pending = (size, window)
 
+    def bind(self, connection: MptcpConnection) -> None:
+        """Remember the connection this controller steers."""
+        self._connection = connection
+
     def disarm(self) -> None:
-        """MP_DASH_DISABLE: deactivate explicitly."""
+        """MP_DASH_DISABLE: deactivate explicitly.
+
+        Deactivated MP-DASH means vanilla MPTCP (§3.1): every path must
+        come back, exactly as in :meth:`on_transfer_complete` — without
+        the restore the connection stays wedged on whatever subset the
+        last activation happened to request.
+        """
         self._pending = None
         self._activation = None
+        if self._connection is not None:
+            for name in self._connection.path_names():
+                self._connection.request_path_state(name, True)
 
     @property
     def active(self) -> bool:
@@ -90,6 +107,7 @@ class DeadlineAwareScheduler(PathController):
     # ------------------------------------------------------------------
     def on_transfer_start(self, now: float, transfer: Transfer,
                           connection: MptcpConnection) -> None:
+        self._connection = connection
         if self._pending is None:
             return
         size, window = self._pending
@@ -112,6 +130,7 @@ class DeadlineAwareScheduler(PathController):
 
     def on_tick(self, now: float, transfer: Optional[Transfer],
                 connection: MptcpConnection) -> Optional[Dict[str, bool]]:
+        self._connection = connection
         activation = self._activation
         if activation is None or transfer is None:
             return None
@@ -126,7 +145,9 @@ class DeadlineAwareScheduler(PathController):
                 self.deadline_misses += 1
                 connection.bus.publish(DeadlineMissed(now, transfer.id))
             self._activation = None
-            return {name: True for name in connection.path_names()}
+            desired = {name: True for name in connection.path_names()}
+            self._count_flips(connection, desired)
+            return desired
 
         remaining = activation.size - min(transfer.bytes_done,
                                           activation.size)

@@ -50,6 +50,7 @@ class MpDashSocket:
         self.connection.primary = self.connection.subflow(primary_name)
         self.preference.apply_costs(
             [sf.path for sf in self.connection.subflows])
+        self.scheduler.bind(self.connection)
         self.connection.controller = self.scheduler
 
     # ------------------------------------------------------------------
@@ -74,12 +75,11 @@ class MpDashSocket:
 
     def mp_dash_disable(self) -> None:
         """Explicitly deactivate MP-DASH; MPTCP reverts to vanilla behaviour
-        with every interface available."""
-        self.scheduler.disarm()
+        with every interface available (the scheduler's ``disarm`` restores
+        every path on the bound connection)."""
         self.connection.bus.publish(
             DeadlineDisarmed(self.connection.sim.now))
-        for name in self.connection.path_names():
-            self.connection.request_path_state(name, True)
+        self.scheduler.disarm()
 
     @property
     def active(self) -> bool:

@@ -1,15 +1,21 @@
-"""Experiment harness: configs, runners, scheme comparisons, tables."""
+"""Experiment harness: configs, runners, sweeps, comparisons, tables."""
 
 from .compare import SchemeComparison, run_schemes
 from .configs import (BASELINE, DURATION, FileDownloadConfig, RATE, SCHEMES,
                       SessionConfig)
 from .runner import (FileDownloadResult, SessionResult, run_file_download,
                      run_session)
-from .tables import format_table, joules, mb, mbps_str, pct
+from .sweep import (DownloadSummary, ResultCache, RunFailure, SessionSummary,
+                    SweepResult, SweepRun, config_key, expand_grid, run_sweep,
+                    summarize_download, summarize_session)
+from .tables import format_table, joules, mb, mbps_str, pct, sweep_table
 
 __all__ = [
-    "BASELINE", "DURATION", "FileDownloadConfig", "FileDownloadResult",
-    "RATE", "SCHEMES", "SchemeComparison", "SessionConfig", "SessionResult",
-    "format_table", "joules", "mb", "mbps_str", "pct", "run_file_download",
-    "run_schemes", "run_session",
+    "BASELINE", "DURATION", "DownloadSummary", "FileDownloadConfig",
+    "FileDownloadResult", "RATE", "ResultCache", "RunFailure", "SCHEMES",
+    "SchemeComparison", "SessionConfig", "SessionResult", "SessionSummary",
+    "SweepResult", "SweepRun", "config_key", "expand_grid", "format_table",
+    "joules", "mb", "mbps_str", "pct", "run_file_download", "run_schemes",
+    "run_session", "run_sweep", "summarize_download", "summarize_session",
+    "sweep_table",
 ]

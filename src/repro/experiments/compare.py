@@ -2,7 +2,9 @@
 
 Every evaluation figure compares the same session under vanilla MPTCP and
 under MP-DASH with the two deadline settings.  :func:`run_schemes` executes
-that trio (or any subset) from one base config, and
+that trio (or any subset) from one base config — through the
+:mod:`~repro.experiments.sweep` engine, so the runs parallelize
+(``jobs``) and reuse cached results (``cache_dir``) — and
 :class:`SchemeComparison` exposes the savings the paper reports.
 """
 
@@ -13,17 +15,17 @@ from typing import Dict, Iterable, Optional
 
 from ..analysis.metrics import bitrate_reduction, savings
 from .configs import BASELINE, SCHEMES, SessionConfig
-from .runner import SessionResult, run_session
+from .sweep import SessionSummary, run_sweep
 
 
 @dataclass
 class SchemeComparison:
     """Results of one workload under several schemes."""
 
-    results: Dict[str, SessionResult]
+    results: Dict[str, SessionSummary]
 
     @property
-    def baseline(self) -> SessionResult:
+    def baseline(self) -> SessionSummary:
         try:
             return self.results[BASELINE]
         except KeyError:
@@ -59,9 +61,25 @@ class SchemeComparison:
 
 
 def run_schemes(base: SessionConfig,
-                schemes: Optional[Iterable[str]] = None) -> SchemeComparison:
-    """Run ``base`` under each scheme (default: baseline, duration, rate)."""
+                schemes: Optional[Iterable[str]] = None,
+                jobs: int = 1,
+                cache_dir: Optional[str] = None) -> SchemeComparison:
+    """Run ``base`` under each scheme (default: baseline, duration, rate).
+
+    Executes through :func:`~repro.experiments.sweep.run_sweep`; pass
+    ``jobs`` to run the schemes concurrently and ``cache_dir`` to reuse
+    previously computed sessions.  A comparison is only meaningful when
+    every scheme ran, so any failed run raises here instead of being
+    returned as a :class:`~repro.experiments.sweep.RunFailure`.
+    """
     chosen = tuple(schemes) if schemes is not None else SCHEMES
-    results = {scheme: run_session(base.with_scheme(scheme))
-               for scheme in chosen}
+    sweep = run_sweep([base.with_scheme(scheme) for scheme in chosen],
+                      jobs=jobs, cache_dir=cache_dir)
+    results = {}
+    for scheme, run in zip(chosen, sweep.runs):
+        if run.failure is not None:
+            raise RuntimeError(
+                f"scheme {scheme!r} failed ({run.failure.kind}): "
+                f"{run.failure.error}")
+        results[scheme] = run.summary
     return SchemeComparison(results)

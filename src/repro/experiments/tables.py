@@ -2,6 +2,8 @@
 
 Every bench prints the same rows/series the paper's table or figure
 reports; these helpers keep the output aligned and the units explicit.
+:func:`sweep_table` renders a whole sweep — successes, cache hits, and
+failures — as one such table.
 """
 
 from __future__ import annotations
@@ -57,3 +59,41 @@ def joules(value: float, digits: int = 1) -> str:
 
 def mbps_str(bytes_per_second: float, digits: int = 2) -> str:
     return f"{bytes_per_second * 8 / 1e6:.{digits}f}Mbps"
+
+
+def sweep_table(result) -> str:
+    """One row per run of a :class:`~repro.experiments.sweep.SweepResult`.
+
+    Session rows report the evaluation metrics; download rows the transfer
+    outcome; failed rows carry the failure kind and message instead.
+    """
+    from .sweep import DownloadSummary, SessionSummary  # avoid cycle at import
+
+    rows = []
+    for run in result.runs:
+        status = ("cached" if run.cached
+                  else "ok" if run.ok
+                  else f"failed:{run.failure.kind}")
+        cell_mb = energy = bitrate = stalls = "-"
+        summary = run.summary
+        if isinstance(summary, SessionSummary):
+            metrics = summary.metrics
+            cell_mb = f"{metrics.cellular_bytes / 1e6:.2f}"
+            energy = f"{metrics.radio_energy:.1f}"
+            bitrate = f"{metrics.mean_bitrate_mbps:.2f}"
+            stalls = str(metrics.stall_count)
+        elif isinstance(summary, DownloadSummary):
+            cell_mb = f"{summary.cellular_bytes / 1e6:.2f}"
+            bitrate = f"{summary.duration:.2f}s"
+            stalls = "miss" if summary.missed_deadline else "met"
+        detail = run.failure.error if run.failure is not None else ""
+        rows.append([run.index, run.config_key[:12], status,
+                     f"{run.elapsed:.2f}", cell_mb, energy, bitrate, stalls,
+                     detail])
+    title = (f"sweep: {len(result.runs)} runs, "
+             f"{len(result.failures)} failed, "
+             f"{result.cache_hits} cached, "
+             f"wall {result.wall_clock:.2f}s on {result.jobs} job(s)")
+    return format_table(
+        ["run", "key", "status", "time s", "cell MB", "energy J",
+         "bitrate", "stalls", "detail"], rows, title=title)

@@ -18,7 +18,8 @@ describes:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable, Dict, List, Optional, Sequence
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from ..estimators import ThroughputEstimator
 from ..net.link import Path
@@ -172,7 +173,7 @@ class MptcpConnection:
             sf.name: SignalChannel(sf.path.enabled, signaling_delay)
             for sf in self.subflows
         }
-        self._queue: List[Transfer] = []
+        self._queue: Deque[Transfer] = deque()
         self._transfer_count = 0
         self._active: Optional[Transfer] = None
         self._activating = False
@@ -197,7 +198,7 @@ class MptcpConnection:
     def _activate_next(self) -> None:
         if self._active is not None or self._activating or not self._queue:
             return
-        transfer = self._queue.pop(0)
+        transfer = self._queue.popleft()
         self._activating = True
         # HTTP request + first response byte: one primary-path RTT.
         delay = max(0.0, transfer.requested_at + self.primary.path.rtt

@@ -171,6 +171,16 @@ class BandwidthTrace:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    @property
+    def times(self) -> list:
+        """Segment start offsets (seconds), a copy."""
+        return list(self._times)
+
+    @property
+    def rates(self) -> list:
+        """Per-segment bandwidth (bytes/second), a copy."""
+        return list(self._rates)
+
     def bandwidth_at(self, time: float) -> float:
         """Available bandwidth (bytes/second) at simulated ``time``."""
         if time < 0:

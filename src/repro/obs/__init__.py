@@ -20,9 +20,10 @@ from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      PacketSent, PathStateRequested, PlaybackEnded,
                      PlaybackStarted, QualitySwitched, RadioStateChange,
                      SchedulerActivated, SessionClosed, StallEnd, StallStart,
-                     SubflowReconnected, SubflowStateChange, TraceEvent,
-                     TransferCompleted, TransferStarted, event_from_dict,
-                     event_to_dict)
+                     SubflowReconnected, SubflowStateChange, SweepCompleted,
+                     SweepRunFailed, SweepRunFinished, SweepRunStarted,
+                     SweepStarted, TraceEvent, TransferCompleted,
+                     TransferStarted, event_from_dict, event_to_dict)
 from .trace_export import (Trace, TraceMeta, TraceRecorder,
                            analyzer_from_trace, dump_jsonl, dumps_jsonl,
                            load_jsonl, loads_jsonl, metrics_from_trace,
@@ -35,7 +36,9 @@ __all__ = [
     "MpDashArmed", "MpDashSkipped", "PacketSent", "PathStateRequested",
     "PlaybackEnded", "PlaybackStarted", "QualitySwitched",
     "RadioStateChange", "SchedulerActivated", "SessionClosed", "StallEnd",
-    "StallStart", "SubflowReconnected", "SubflowStateChange", "Trace",
+    "StallStart", "SubflowReconnected", "SubflowStateChange",
+    "SweepCompleted", "SweepRunFailed", "SweepRunFinished",
+    "SweepRunStarted", "SweepStarted", "Trace",
     "TraceEvent", "TraceMeta", "TraceRecorder", "TransferCompleted",
     "TransferStarted", "analyzer_from_trace", "dump_jsonl", "dumps_jsonl",
     "event_from_dict", "event_to_dict", "load_jsonl", "loads_jsonl",

@@ -248,6 +248,61 @@ class SessionClosed(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Experiment sweeps (repro.experiments.sweep)
+# ----------------------------------------------------------------------
+# Sweep events describe the *harness*, not a simulation: ``time`` is
+# wall-clock seconds since the sweep started, and ``key`` the run's
+# deterministic config hash (see :func:`repro.experiments.sweep.config_key`).
+@dataclass(frozen=True, slots=True)
+class SweepStarted(TraceEvent):
+    """A sweep of ``total`` configs began on ``jobs`` workers."""
+
+    total: int
+    jobs: int
+
+
+@dataclass(frozen=True, slots=True)
+class SweepRunStarted(TraceEvent):
+    """One run (or retry ``attempt`` of it) was handed to a worker."""
+
+    key: str
+    index: int
+    attempt: int
+
+
+@dataclass(frozen=True, slots=True)
+class SweepRunFinished(TraceEvent):
+    """One run produced a summary, freshly (``elapsed`` seconds of worker
+    time) or straight from the on-disk cache."""
+
+    key: str
+    index: int
+    elapsed: float
+    cached: bool
+
+
+@dataclass(frozen=True, slots=True)
+class SweepRunFailed(TraceEvent):
+    """One run exhausted its retries; ``kind`` is ``error`` or ``timeout``."""
+
+    key: str
+    index: int
+    kind: str
+    error: str
+    attempts: int
+
+
+@dataclass(frozen=True, slots=True)
+class SweepCompleted(TraceEvent):
+    """The sweep drained; every config is accounted for."""
+
+    total: int
+    succeeded: int
+    failed: int
+    cache_hits: int
+
+
+# ----------------------------------------------------------------------
 # Energy (repro.energy)
 # ----------------------------------------------------------------------
 #: Radio power states for :class:`RadioStateChange`.
@@ -273,7 +328,8 @@ EVENT_TYPES: Dict[str, type] = {
         DeadlineMissed, HttpRequestSent, HttpResponseReceived,
         ChunkRequested, MpDashArmed, MpDashSkipped, ChunkDownloaded,
         QualitySwitched, PlaybackStarted, StallStart, StallEnd,
-        PlaybackEnded, SessionClosed, RadioStateChange,
+        PlaybackEnded, SessionClosed, RadioStateChange, SweepStarted,
+        SweepRunStarted, SweepRunFinished, SweepRunFailed, SweepCompleted,
     )
 }
 

@@ -72,6 +72,49 @@ class TestCommands:
         assert "cell saved" in out
 
 
+class TestSweep:
+    def test_sweep_json_parallel(self, capsys):
+        assert main(["sweep", "--abr", "gpac", "--duration", "20",
+                     "--wifi", "8", "--lte", "8",
+                     "--grid", "wifi_mbps=6,8", "--jobs", "2",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["total"] == 2
+        assert report["succeeded"] == 2
+        assert report["failed"] == 0
+        assert report["jobs"] == 2
+        assert all(run["status"] == "ok" for run in report["runs"])
+
+    def test_sweep_table_output(self, capsys):
+        assert main(["sweep", "--abr", "gpac", "--duration", "20",
+                     "--wifi", "8", "--lte", "8",
+                     "--schemes", "baseline,rate"]) == 0
+        out = capsys.readouterr().out
+        assert "2 runs" in out
+        assert "status" in out
+
+    def test_sweep_cache_rerun_hits(self, tmp_path, capsys):
+        argv = ["sweep", "--abr", "gpac", "--duration", "20",
+                "--wifi", "8", "--lte", "8",
+                "--grid", "wifi_mbps=6,8",
+                "--cache-dir", str(tmp_path / "cache"), "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert first["cache_hits"] == 0
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["cache_hits"] == 2
+        assert all(run["cached"] for run in second["runs"])
+
+    def test_sweep_bad_grid_field_exits_2(self, capsys):
+        assert main(["sweep", "--grid", "wombat=1,2"]) == 2
+        err = capsys.readouterr().err
+        assert "wombat" in err
+
+    def test_sweep_malformed_grid_exits_2(self, capsys):
+        assert main(["sweep", "--grid", "wifi_mbps"]) == 2
+
+
 class TestTrace:
     def test_trace_json_summary(self, capsys):
         assert main(["trace", "--duration", "40", "--wifi", "8",

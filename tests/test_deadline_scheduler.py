@@ -135,6 +135,49 @@ class TestLifecycle:
         sim.run(until=30.0)
         assert scheduler.activations == 0
 
+    def test_disarm_restores_all_paths(self):
+        """disarm() must re-enable every path (vanilla MPTCP fallback),
+        matching on_transfer_complete — not leave the last requested
+        subset stuck."""
+        sim, conn, scheduler = make_setup(wifi=8.0, lte=8.0)
+        scheduler.arm(megabytes(8), 30.0)
+        conn.start_transfer(megabytes(8))
+        sim.run(until=1.0)
+        assert conn.path_state("cellular") is False
+        scheduler.disarm()
+        assert conn.path_state("cellular") is True
+        assert conn.path_state("wifi") is True
+        assert not scheduler.active
+
+    def test_deadline_miss_counts_enable_flips(self):
+        """The forced all-paths-enable on a miss is an enable event like
+        any other: enable_events must agree with the PathStateRequested
+        stream."""
+        from repro.obs.events import PathStateRequested
+
+        sim, conn, scheduler = make_setup(wifi=8.0, lte=8.0)
+        enables = []
+        conn.bus.subscribe(
+            PathStateRequested,
+            lambda e: enables.append(e.path) if e.enabled else None)
+        # Generous deadline: cellular is off while the transfer runs.
+        scheduler.arm(megabytes(8), 30.0)
+        transfer = conn.start_transfer(megabytes(8))
+        sim.run(until=1.0)
+        assert conn.path_state("cellular") is False
+        assert scheduler.enable_events == len(enables) == 0
+        # The deadline passes mid-transfer: the miss branch re-enables
+        # every path, and that flip must be counted.
+        deadline = scheduler._activation.deadline()
+        desired = scheduler.on_tick(deadline + 0.1, transfer, conn)
+        assert desired == {"wifi": True, "cellular": True}
+        assert scheduler.deadline_misses == 1
+        assert scheduler.enable_events == 1
+        for name, enabled in desired.items():
+            conn.request_path_state(name, enabled)
+        assert enables == ["cellular"]
+        assert scheduler.enable_events == len(enables)
+
     def test_only_armed_transfers_are_controlled(self):
         sim, conn, scheduler = make_setup(wifi=8.0, lte=8.0)
         transfer = conn.start_transfer(megabytes(2))  # never armed

@@ -60,6 +60,21 @@ class TestSocketOptions:
         sim.run(until=30.0)
         assert transfer.per_path["cellular"] > 0
 
+    def test_disable_mid_transfer_restores_cellular(self):
+        """§3.1: a deactivated connection is vanilla MPTCP — disabling
+        mid-activation must request the costlier paths back on, not leave
+        the connection wedged on whatever subset was last requested."""
+        sim, conn, socket = make()
+        # Generous deadline: the scheduler keeps cellular switched off.
+        socket.mp_dash_enable(megabytes(8), 30.0)
+        conn.start_transfer(megabytes(8))
+        sim.run(until=1.0)
+        assert conn.path_state("cellular") is False
+        socket.mp_dash_disable()
+        assert conn.path_state("cellular") is True
+        assert conn.path_state("wifi") is True
+        assert not socket.active
+
     def test_active_reflects_activation(self):
         sim, conn, socket = make()
         assert not socket.active

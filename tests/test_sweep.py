@@ -1,0 +1,307 @@
+"""Tests for the parallel, cached, fault-tolerant sweep engine."""
+
+import json
+import time
+
+import pytest
+
+from repro.experiments import (FileDownloadConfig, SessionConfig, run_schemes,
+                               run_session)
+from repro.experiments.sweep import (FAILED_ERROR, FAILED_TIMEOUT,
+                                     DownloadSummary, ResultCache,
+                                     SessionSummary, config_key,
+                                     default_runner, expand_grid, run_sweep,
+                                     summarize_session, summary_from_dict)
+from repro.experiments.tables import sweep_table
+from repro.net.trace import BandwidthTrace
+from repro.net.units import mbps
+from repro.obs import (EventBus, SweepCompleted, SweepRunFailed,
+                       SweepRunFinished, SweepRunStarted, SweepStarted)
+
+
+def short_config(**overrides):
+    defaults = dict(video_duration=20.0, wifi_mbps=8.0, lte_mbps=8.0)
+    defaults.update(overrides)
+    return SessionConfig(**defaults)
+
+
+# Module-level runners so the process pool can pickle them by reference.
+def crash_runner(config):
+    raise RuntimeError("injected crash")
+
+
+def sleepy_runner(config):
+    time.sleep(10.0)
+    return default_runner(config)
+
+
+def crash_on_slow_wifi(config):
+    if config.wifi_mbps < 5.0:
+        raise ValueError("boom")
+    return default_runner(config)
+
+
+class TestConfigKey:
+    def test_equal_configs_equal_keys(self):
+        assert config_key(short_config()) == config_key(short_config())
+
+    def test_any_field_changes_the_key(self):
+        base = config_key(short_config())
+        assert config_key(short_config(alpha=0.9)) != base
+        assert config_key(short_config(abr="gpac")) != base
+        assert config_key(short_config(mpdash=True)) != base
+
+    def test_kind_is_part_of_the_key(self):
+        session = config_key(short_config())
+        download = config_key(FileDownloadConfig(size=1e6, deadline=10.0))
+        assert session != download
+
+    def test_trace_configs_are_hashable(self):
+        trace = BandwidthTrace.from_samples([mbps(4.0), mbps(6.0)], 0.5)
+        one = config_key(short_config(wifi_mbps=None, wifi_trace=trace))
+        same = BandwidthTrace.from_samples([mbps(4.0), mbps(6.0)], 0.5)
+        other = BandwidthTrace.from_samples([mbps(4.0), mbps(7.0)], 0.5)
+        assert one == config_key(short_config(wifi_mbps=None,
+                                              wifi_trace=same))
+        assert one != config_key(short_config(wifi_mbps=None,
+                                              wifi_trace=other))
+
+
+class TestExpandGrid:
+    def test_cartesian_product(self):
+        configs = expand_grid(short_config(),
+                              {"wifi_mbps": [2.0, 4.0],
+                               "alpha": [0.8, 1.0]})
+        assert len(configs) == 4
+        assert [(c.wifi_mbps, c.alpha) for c in configs] == [
+            (2.0, 0.8), (2.0, 1.0), (4.0, 0.8), (4.0, 1.0)]
+
+    def test_scheme_axis_routes_through_with_scheme(self):
+        configs = expand_grid(short_config(),
+                              {"scheme": ["baseline", "rate"]})
+        assert [c.mpdash for c in configs] == [False, True]
+        assert configs[1].deadline_mode == "rate"
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            expand_grid(short_config(), {"wombat": [1]})
+
+    def test_empty_grid_is_the_base(self):
+        base = short_config()
+        assert expand_grid(base, {}) == [base]
+
+
+class TestSummaries:
+    def test_session_summary_round_trip(self):
+        result = run_session(short_config())
+        summary = summarize_session(result)
+        payload = json.loads(json.dumps(summary.to_dict()))
+        again = summary_from_dict(payload)
+        assert isinstance(again, SessionSummary)
+        assert again == summary
+        assert again.metrics.cellular_bytes == result.metrics.cellular_bytes
+
+    def test_download_summary_round_trip(self):
+        summary = DownloadSummary(config_key="k", duration=3.0,
+                                  bytes_per_path={"wifi": 5e6,
+                                                  "cellular": 1e6},
+                                  missed_deadline=False, radio_energy=12.0)
+        again = summary_from_dict(json.loads(json.dumps(summary.to_dict())))
+        assert again == summary
+        assert again.cellular_fraction == pytest.approx(1.0 / 6.0)
+
+
+class TestSerialSweep:
+    def test_matches_direct_runs(self):
+        configs = [short_config(), short_config(mpdash=True)]
+        sweep = run_sweep(configs)
+        assert sweep.ok and len(sweep) == 2
+        for config, run in zip(configs, sweep.runs):
+            direct = run_session(config)
+            assert run.summary.metrics == direct.metrics
+            assert run.summary.finished == direct.finished
+
+    def test_download_configs_use_the_download_runner(self):
+        sweep = run_sweep([FileDownloadConfig(size=2e6, deadline=8.0,
+                                              wifi_mbps=4.0, lte_mbps=4.0)])
+        assert sweep.ok
+        assert isinstance(sweep.runs[0].summary, DownloadSummary)
+        assert not sweep.runs[0].summary.missed_deadline
+
+    def test_lifecycle_events_published(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe_all(seen.append)
+        run_sweep([short_config()], bus=bus)
+        kinds = [type(e).__name__ for e in seen]
+        assert kinds == ["SweepStarted", "SweepRunStarted",
+                        "SweepRunFinished", "SweepCompleted"]
+        assert seen[0].total == 1
+        assert seen[-1].succeeded == 1
+        assert seen[-1].failed == 0
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError):
+            run_sweep([], jobs=0)
+        with pytest.raises(ValueError):
+            run_sweep([], retries=-1)
+        with pytest.raises(ValueError):
+            run_sweep([], timeout=0.0)
+
+
+class TestParallelSweep:
+    def test_pool_matches_serial(self):
+        configs = expand_grid(short_config(),
+                              {"scheme": ["baseline", "rate"],
+                               "wifi_mbps": [6.0, 8.0]})
+        serial = run_sweep(configs, jobs=1)
+        pooled = run_sweep(configs, jobs=2)
+        assert pooled.ok and pooled.jobs == 2
+        for a, b in zip(serial.runs, pooled.runs):
+            assert a.config_key == b.config_key
+            assert a.summary.metrics == b.summary.metrics
+
+
+class TestCaching:
+    def test_rerun_serves_from_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        configs = [short_config(), short_config(mpdash=True)]
+        first = run_sweep(configs, cache_dir=cache_dir)
+        assert first.cache_hits == 0
+        second = run_sweep(configs, cache_dir=cache_dir)
+        assert second.cache_hits == 2
+        assert all(run.cached for run in second.runs)
+        for a, b in zip(first.runs, second.runs):
+            assert a.summary == b.summary
+
+    def test_cache_is_shared_across_job_counts(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        configs = [short_config(wifi_mbps=w) for w in (6.0, 7.0, 8.0)]
+        run_sweep(configs, jobs=2, cache_dir=cache_dir)
+        again = run_sweep(configs, jobs=1, cache_dir=cache_dir)
+        assert again.cache_hits == 3
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        config = short_config()
+        run_sweep([config], cache_dir=cache_dir)
+        cache = ResultCache(cache_dir)
+        with open(cache.path(config_key(config)), "w") as handle:
+            handle.write("{not json")
+        sweep = run_sweep([config], cache_dir=cache_dir)
+        assert sweep.ok
+        assert sweep.cache_hits == 0
+        # The rerun healed the artifact.
+        assert cache.load(config_key(config)) is not None
+
+    def test_failures_are_never_cached(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = run_sweep([short_config()], cache_dir=cache_dir,
+                          runner=crash_runner)
+        assert not first.ok
+        second = run_sweep([short_config()], cache_dir=cache_dir,
+                           runner=crash_runner)
+        assert second.cache_hits == 0
+        assert not second.ok
+
+
+class TestFaultIsolation:
+    def test_injected_crash_yields_run_failure(self):
+        sweep = run_sweep([short_config()], runner=crash_runner)
+        assert len(sweep) == 1
+        failure = sweep.runs[0].failure
+        assert failure is not None
+        assert failure.kind == FAILED_ERROR
+        assert "injected crash" in failure.error
+        assert failure.attempts == 1
+        assert not sweep.ok
+
+    def test_retries_are_bounded(self):
+        sweep = run_sweep([short_config()], runner=crash_runner, retries=2)
+        assert sweep.runs[0].failure.attempts == 3
+
+    def test_crash_in_pool_does_not_abort_the_sweep(self):
+        configs = [short_config(wifi_mbps=2.0), short_config(wifi_mbps=8.0)]
+        sweep = run_sweep(configs, jobs=2, runner=crash_on_slow_wifi)
+        assert len(sweep) == 2
+        assert sweep.runs[0].failure is not None
+        assert "boom" in sweep.runs[0].failure.error
+        assert sweep.runs[1].ok
+
+    def test_timeout_yields_run_failure(self):
+        start = time.perf_counter()
+        sweep = run_sweep([short_config()], timeout=0.3,
+                          runner=sleepy_runner)
+        elapsed = time.perf_counter() - start
+        failure = sweep.runs[0].failure
+        assert failure is not None
+        assert failure.kind == FAILED_TIMEOUT
+        assert elapsed < 5.0
+
+    def test_timeout_in_pool(self):
+        sweep = run_sweep([short_config()], jobs=2, timeout=0.3,
+                          runner=sleepy_runner)
+        assert sweep.runs[0].failure is not None
+        assert sweep.runs[0].failure.kind == FAILED_TIMEOUT
+
+    def test_failed_events_published(self):
+        bus = EventBus()
+        failed = []
+        bus.subscribe(SweepRunFailed, failed.append)
+        run_sweep([short_config()], runner=crash_runner, bus=bus)
+        assert len(failed) == 1
+        assert failed[0].kind == FAILED_ERROR
+        assert "injected crash" in failed[0].error
+
+    def test_rerun_after_partial_failure_serves_cache(self, tmp_path):
+        """The acceptance scenario: one crashing run, sweep completes,
+        and an immediate re-run replays the successes from cache."""
+        cache_dir = str(tmp_path / "cache")
+        configs = [short_config(wifi_mbps=8.0), short_config(wifi_mbps=2.0)]
+        first = run_sweep(configs, cache_dir=cache_dir,
+                          runner=crash_on_slow_wifi)
+        assert first.runs[0].ok
+        assert first.runs[1].failure is not None
+        second = run_sweep(configs, cache_dir=cache_dir,
+                           runner=crash_on_slow_wifi)
+        assert second.runs[0].cached
+        assert second.runs[0].summary == first.runs[0].summary
+        assert second.runs[1].failure is not None
+
+
+class TestSweepTable:
+    def test_renders_successes_and_failures(self, tmp_path):
+        configs = [short_config(wifi_mbps=8.0), short_config(wifi_mbps=2.0)]
+        sweep = run_sweep(configs, runner=crash_on_slow_wifi)
+        text = sweep_table(sweep)
+        assert "failed:error" in text
+        assert "boom" in text
+        assert "2 runs, 1 failed" in text
+
+
+class TestRunSchemesOnEngine:
+    def test_comparison_still_works(self):
+        # Constrained WiFi and a session long enough to leave the
+        # low-buffer startup guard, so MP-DASH actually activates.
+        base = short_config(video_duration=60.0,
+                            wifi_mbps=3.8, lte_mbps=3.0)
+        comparison = run_schemes(base, schemes=("baseline", "rate"))
+        assert comparison.baseline.metrics.cellular_bytes > 0
+        assert comparison.cellular_savings("rate") > 0
+
+    def test_jobs_and_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = run_schemes(short_config(), schemes=("baseline", "rate"),
+                            jobs=2, cache_dir=cache_dir)
+        second = run_schemes(short_config(), schemes=("baseline", "rate"),
+                             cache_dir=cache_dir)
+        for scheme in ("baseline", "rate"):
+            assert (first.results[scheme].metrics
+                    == second.results[scheme].metrics)
+
+    def test_failed_scheme_raises(self):
+        with pytest.raises(RuntimeError, match="baseline"):
+            # A scheme comparison is meaningless with holes; the engine's
+            # RunFailure surfaces as an exception at this level.
+            base = short_config(video_duration=-1.0)
+            run_schemes(base, schemes=("baseline",))
