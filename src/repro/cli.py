@@ -10,8 +10,16 @@ equivalent entry point, plus runners for the common experiments::
     python -m repro download --size-mb 5 --deadline 10
     python -m repro trace --out run.jsonl --mpdash
     python -m repro trace --load run.jsonl --diff other.jsonl
+    python -m repro stats --mpdash --json
+    python -m repro spans --mpdash --chrome spans.json
+    python -m repro profile --duration 60
     python -m repro locations
     python -m repro videos
+
+Output discipline: the machine-readable payload (``--json``, the
+Prometheus exposition, the Chrome trace) goes to stdout; progress lines,
+notes, and errors go to stderr, so stdout can always be piped into a
+parser.
 """
 
 from __future__ import annotations
@@ -31,7 +39,10 @@ from .experiments import (BASELINE, DURATION, FileDownloadConfig, RATE,
                           run_schemes, run_session, run_sweep)
 from .experiments.tables import format_table, pct, sweep_table
 from .obs import (EventBus, SweepRunFailed, SweepRunFinished, Trace,
-                  dump_jsonl, load_jsonl, metrics_from_trace)
+                  dump_chrome_trace, dump_jsonl, load_jsonl,
+                  metrics_from_trace, registry_from_trace,
+                  render_span_tree, spans_from_trace)
+from .obs.spans import spans_to_dicts
 from .workloads import VIDEO_LADDERS, field_study_locations, video_names
 
 
@@ -132,10 +143,60 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--json", action="store_true",
                        help="machine-readable output instead of tables")
 
+    stats = commands.add_parser(
+        "stats", help="the standard metrics registry of one session "
+                      "(Prometheus exposition or JSON)")
+    _add_session_args(stats)
+    stats.add_argument("--load", metavar="FILE",
+                       help="rebuild the registry offline from a JSONL "
+                            "trace instead of running a session")
+    stats.add_argument("--json", action="store_true",
+                       help="JSON dump instead of the Prometheus text "
+                            "exposition")
+
+    spans = commands.add_parser(
+        "spans", help="the causal span tree of one session (chunk → "
+                      "request → transfer → deadline)")
+    _add_session_args(spans)
+    spans.add_argument("--load", metavar="FILE",
+                       help="rebuild spans offline from a JSONL trace "
+                            "instead of running a session")
+    spans.add_argument("--chrome", metavar="FILE",
+                       help="also export Chrome trace-event JSON "
+                            "(loadable in Perfetto)")
+    spans.add_argument("--json", action="store_true",
+                       help="span records as JSON instead of the tree view")
+    spans.add_argument("--limit", type=int, default=None, metavar="N",
+                       help="print at most N spans in the tree view")
+
+    profile = commands.add_parser(
+        "profile", help="wall-clock hot-path report of one session "
+                        "(bus events, handlers, simulator callbacks)")
+    _add_session_args(profile)
+    profile.add_argument("--top", type=int, default=15, metavar="N",
+                         help="rows per profile section")
+    profile.add_argument("--json", action="store_true",
+                         help="raw timings as JSON instead of the report")
+
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
     commands.add_parser("videos", help="list the Table-3 video ladders")
     return parser
+
+
+def _add_session_args(parser: argparse.ArgumentParser) -> None:
+    """The shared run-one-session argument block (stats/spans/profile)."""
+    _add_network_args(parser)
+    parser.add_argument("--video", default="big_buck_bunny",
+                        choices=video_names())
+    parser.add_argument("--abr", default="festive", choices=abr_names())
+    parser.add_argument("--mpdash", action="store_true",
+                        help="enable the MP-DASH scheduler")
+    parser.add_argument("--deadline-mode", default=RATE_BASED,
+                        choices=list(DEADLINE_MODES))
+    parser.add_argument("--alpha", type=float, default=1.0)
+    parser.add_argument("--duration", type=float, default=300.0,
+                        help="video length to stream, seconds")
 
 
 def _add_network_args(parser: argparse.ArgumentParser) -> None:
@@ -274,13 +335,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
     bus = EventBus()
     if not args.json:
+        # Progress goes to stderr so stdout carries only the final table
+        # (or, with --json, only the JSON document).
         total = len(configs)
         bus.subscribe(SweepRunFinished, lambda e: print(
             f"[{e.time:8.2f}s] run {e.index + 1}/{total} {e.key[:12]} "
-            f"{'cached' if e.cached else f'done in {e.elapsed:.2f}s'}"))
+            f"{'cached' if e.cached else f'done in {e.elapsed:.2f}s'}",
+            file=sys.stderr))
         bus.subscribe(SweepRunFailed, lambda e: print(
             f"[{e.time:8.2f}s] run {e.index + 1}/{total} {e.key[:12]} "
-            f"FAILED ({e.kind}, {e.attempts} attempt(s)): {e.error}"))
+            f"FAILED ({e.kind}, {e.attempts} attempt(s)): {e.error}",
+            file=sys.stderr))
     result = run_sweep(configs, jobs=args.jobs, cache_dir=args.cache_dir,
                        timeout=args.timeout, retries=args.retries, bus=bus)
     if args.json:
@@ -348,7 +413,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         try:
             trace = load_jsonl(args.load)
         except (OSError, ValueError) as exc:
-            print(f"repro trace: cannot load {args.load}: {exc}")
+            print(f"repro trace: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
             return 1
         if args.out is not None:
             dump_jsonl(args.out, trace.events, trace.meta)
@@ -370,7 +436,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
         try:
             other = load_jsonl(args.diff)
         except (OSError, ValueError) as exc:
-            print(f"repro trace: cannot load {args.diff}: {exc}")
+            print(f"repro trace: cannot load {args.diff}: {exc}",
+                  file=sys.stderr)
             return 1
         other_summary = _trace_summary(args.diff, other,
                                        metrics_from_trace(other))
@@ -396,8 +463,78 @@ def cmd_trace(args: argparse.Namespace) -> int:
         print(json.dumps(summary, sort_keys=True))
     else:
         _print_trace_summary(summary)
-        if args.out is not None:
-            print(f"trace written to {args.out}")
+    if args.out is not None:
+        # stderr: stdout stays pure JSON/table for parsers.
+        print(f"trace written to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _session_config(args: argparse.Namespace, **overrides) -> SessionConfig:
+    """A :class:`SessionConfig` from the shared session argument block."""
+    return SessionConfig(
+        video=args.video, abr=args.abr, mpdash=args.mpdash,
+        deadline_mode=args.deadline_mode, alpha=args.alpha,
+        wifi_mbps=args.wifi, lte_mbps=args.lte,
+        wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
+        video_duration=args.duration, **overrides)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """The standard metrics registry, live or rebuilt from a trace."""
+    if args.load is not None:
+        try:
+            trace = load_jsonl(args.load)
+        except (OSError, ValueError) as exc:
+            print(f"repro stats: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
+            return 1
+        registry = registry_from_trace(trace)
+        print(f"registry rebuilt from {args.load} "
+              f"({len(trace.events)} events)", file=sys.stderr)
+    else:
+        result = run_session(_session_config(args, collect_metrics=True))
+        registry = result.metrics_registry
+    if args.json:
+        print(json.dumps(registry.to_dict(), sort_keys=True))
+    else:
+        sys.stdout.write(registry.render_prometheus())
+    return 0
+
+
+def cmd_spans(args: argparse.Namespace) -> int:
+    """The causal span tree, live or rebuilt from a trace."""
+    if args.load is not None:
+        try:
+            trace = load_jsonl(args.load)
+        except (OSError, ValueError) as exc:
+            print(f"repro spans: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
+            return 1
+        spans = spans_from_trace(trace)
+        print(f"spans rebuilt from {args.load} "
+              f"({len(trace.events)} events)", file=sys.stderr)
+    else:
+        result = run_session(_session_config(args, collect_spans=True))
+        spans = result.spans
+    if args.chrome is not None:
+        dump_chrome_trace(args.chrome, spans)
+        print(f"chrome trace written to {args.chrome} "
+              f"(open in Perfetto or chrome://tracing)", file=sys.stderr)
+    if args.json:
+        print(json.dumps(spans_to_dicts(spans), sort_keys=True))
+    else:
+        print(render_span_tree(spans, max_spans=args.limit))
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Run one session under the profiler and print the hot-path report."""
+    result = run_session(_session_config(args), profile=True)
+    profiler = result.profile
+    if args.json:
+        print(json.dumps(profiler.to_dict(), sort_keys=True))
+    else:
+        sys.stdout.write(profiler.report(top=args.top))
     return 0
 
 
@@ -427,6 +564,9 @@ _COMMANDS = {
     "sweep": cmd_sweep,
     "download": cmd_download,
     "trace": cmd_trace,
+    "stats": cmd_stats,
+    "spans": cmd_spans,
+    "profile": cmd_profile,
     "locations": cmd_locations,
     "videos": cmd_videos,
 }

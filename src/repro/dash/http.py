@@ -74,14 +74,16 @@ class HttpClient:
         bytes.
         """
         self.requests_sent += 1
+        request_id = self.requests_sent
         bus = self.connection.bus
         sim = self.connection.sim
         request = HttpRequest(path)
-        bus.publish(HttpRequestSent(sim.now, path))
+        bus.publish(HttpRequestSent(sim.now, path, request_id))
         size = self._resolver(path)
         if size is None:
             response = HttpResponse(request, 404, {"Content-Length": "0"})
-            bus.publish(HttpResponseReceived(sim.now, path, 404, 0))
+            bus.publish(HttpResponseReceived(sim.now, path, 404, 0,
+                                             request_id))
             on_complete(response)
             return response
         body_bytes = int(round(size))
@@ -91,7 +93,8 @@ class HttpClient:
             before_transfer(response)
 
         def _done(_transfer: Transfer) -> None:
-            bus.publish(HttpResponseReceived(sim.now, path, 200, body_bytes))
+            bus.publish(HttpResponseReceived(sim.now, path, 200, body_bytes,
+                                             request_id))
             on_complete(response)
 
         response.transfer = self._fetcher(body_bytes, tag=path,

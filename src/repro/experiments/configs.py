@@ -69,6 +69,11 @@ class SessionConfig:
     #: Record the session's full typed event stream (repro.obs); the
     #: result then carries the events and can export a JSONL trace.
     record_trace: bool = False
+    #: Attach a SessionMetricsCollector (plus the 1 Hz PathSampler); the
+    #: result then carries ``metrics_registry``.
+    collect_metrics: bool = False
+    #: Attach a SpanBuilder; the result then carries ``spans``.
+    collect_spans: bool = False
 
     def __post_init__(self) -> None:
         if self.deadline_mode not in DEADLINE_MODES:

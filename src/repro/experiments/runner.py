@@ -10,6 +10,7 @@ transfer (the §7.2 scheduler evaluation).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import IO, Dict, List, Optional, Union
 
 from ..abr import make_abr
@@ -27,6 +28,10 @@ from ..mptcp.connection import MptcpConnection
 from ..net.link import cellular_path, wifi_path
 from ..net.simulator import Simulator
 from ..obs.events import SessionClosed, TraceEvent
+from ..obs.metrics import (MetricsRegistry, PathSampler,
+                           SessionMetricsCollector)
+from ..obs.profile import ProfiledBus, Profiler
+from ..obs.spans import Span, SpanBuilder
 from ..obs.trace_export import TraceMeta, TraceRecorder, dump_jsonl
 from ..workloads.videos import video_asset
 from .configs import FileDownloadConfig, SessionConfig
@@ -48,6 +53,15 @@ class SessionResult:
     #: The session's full typed event stream; populated when the config
     #: set ``record_trace`` (see :mod:`repro.obs`).
     events: Optional[List[TraceEvent]] = None
+    #: The standard metrics registry; populated when the config set
+    #: ``collect_metrics`` (see :mod:`repro.obs.metrics`).
+    metrics_registry: Optional[MetricsRegistry] = None
+    #: The causal span tree; populated when the config set
+    #: ``collect_spans`` (see :mod:`repro.obs.spans`).
+    spans: Optional[List[Span]] = None
+    #: Wall-clock attribution; populated when ``run_session`` was called
+    #: with ``profile=True`` (see :mod:`repro.obs.profile`).
+    profile: Optional[Profiler] = None
 
     @property
     def trace_meta(self) -> TraceMeta:
@@ -101,16 +115,32 @@ def _build_paths(config) -> list:
     return paths
 
 
-def run_session(config: SessionConfig) -> SessionResult:
-    """Simulate one streaming session to completion (or the time cap)."""
-    sim = Simulator()
+def run_session(config: SessionConfig, profile: bool = False
+                ) -> SessionResult:
+    """Simulate one streaming session to completion (or the time cap).
+
+    ``profile=True`` swaps in a :class:`~repro.obs.profile.ProfiledBus`
+    and arms the simulator-loop profiler; it is a runner argument rather
+    than a config field because it changes what is *measured about* the
+    run, never the run itself (sweep cache keys must not depend on it).
+    """
+    profiler = Profiler() if profile else None
+    sim = Simulator(bus=ProfiledBus(profiler) if profile else None)
+    sim.profiler = profiler
     recorder = TraceRecorder(sim.bus) if config.record_trace else None
+    collector = None
+    if config.collect_metrics:
+        collector = SessionMetricsCollector(
+            sim.bus, device=config.device)
+    span_builder = SpanBuilder(sim.bus) if config.collect_spans else None
     paths = _build_paths(config)
     connection = MptcpConnection(
         sim, paths, scheduler=config.mptcp_scheduler,
         tick_interval=config.tick_interval,
         signaling_delay=config.signaling_delay,
         subflow_reestablish=config.subflow_reestablish)
+    if config.collect_metrics:
+        PathSampler(sim, connection)
 
     server = DashServer()
     asset = video_asset(config.video, chunk_duration=config.chunk_duration,
@@ -134,11 +164,14 @@ def run_session(config: SessionConfig) -> SessionResult:
     player.start()
 
     cap = config.sim_deadline
+    started = perf_counter()
     while not player.finished and sim.now < cap:
         sim.run(until=min(sim.now + 5.0, cap))
     connection.close()
     # Terminal event: closes any open stall and timestamps session end.
     sim.bus.publish(SessionClosed(sim.now))
+    if profiler is not None:
+        profiler.wall_clock = perf_counter() - started
     session_duration = sim.now
 
     device = DEVICES[config.device]
@@ -151,7 +184,11 @@ def run_session(config: SessionConfig) -> SessionResult:
                          session_duration=session_duration,
                          connection=connection, player=player,
                          socket=socket, adapter=adapter,
-                         events=recorder.events if recorder else None)
+                         events=recorder.events if recorder else None,
+                         metrics_registry=(collector.registry
+                                           if collector else None),
+                         spans=span_builder.spans if span_builder else None,
+                         profile=profiler)
 
 
 @dataclass

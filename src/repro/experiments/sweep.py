@@ -140,21 +140,29 @@ class SessionSummary:
     session_duration: float
     metrics: SessionMetrics
     scheduler_stats: Dict[str, int] = field(default_factory=dict)
+    #: Serialized :class:`~repro.obs.metrics.Histogram` dicts keyed by
+    #: exposition name, populated when the run collected metrics.  Plain
+    #: dicts (not Histogram objects) so the summary stays a JSON value;
+    #: :func:`merged_histograms` revives and folds them per grid point.
+    histograms: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": "session", "config_key": self.config_key,
                 "finished": self.finished,
                 "session_duration": self.session_duration,
                 "metrics": asdict(self.metrics),
-                "scheduler_stats": dict(self.scheduler_stats)}
+                "scheduler_stats": dict(self.scheduler_stats),
+                "histograms": dict(self.histograms)}
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SessionSummary":
+        # .get: artifacts cached by pre-histogram versions still load.
         return cls(config_key=payload["config_key"],
                    finished=payload["finished"],
                    session_duration=payload["session_duration"],
                    metrics=SessionMetrics(**payload["metrics"]),
-                   scheduler_stats=dict(payload["scheduler_stats"]))
+                   scheduler_stats=dict(payload["scheduler_stats"]),
+                   histograms=dict(payload.get("histograms", {})))
 
 
 @dataclass
@@ -213,12 +221,21 @@ def summary_from_dict(payload: Mapping[str, Any]) -> RunSummary:
 def summarize_session(result: SessionResult,
                       key: Optional[str] = None) -> SessionSummary:
     """Project a live :class:`SessionResult` onto the picklable boundary."""
+    histograms: Dict[str, Any] = {}
+    if result.metrics_registry is not None:
+        for histogram in result.metrics_registry.histograms():
+            name = histogram.name
+            if histogram.labels:
+                rendered = ",".join(f"{k}={v}" for k, v in histogram.labels)
+                name = f"{name}{{{rendered}}}"
+            histograms[name] = histogram.to_dict()
     return SessionSummary(
         config_key=key if key is not None else config_key(result.config),
         finished=result.finished,
         session_duration=result.session_duration,
         metrics=result.metrics,
-        scheduler_stats=dict(result.scheduler_stats))
+        scheduler_stats=dict(result.scheduler_stats),
+        histograms=histograms)
 
 
 def summarize_download(result: FileDownloadResult,
@@ -400,6 +417,29 @@ class SweepResult:
     def ok(self) -> bool:
         """True when every run produced a summary."""
         return all(run.ok for run in self.runs)
+
+
+def merged_histograms(result: SweepResult) -> Dict[str, Any]:
+    """Fold every run's histograms into one distribution per name.
+
+    Runs must have been swept with ``collect_metrics=True`` configs (the
+    summaries then carry serialized histograms); runs without histograms
+    are skipped.  Returns exposition name →
+    :class:`~repro.obs.metrics.Histogram`, so e.g. the sweep-wide p95
+    deadline slack is
+    ``merged_histograms(r)["repro_deadline_slack_seconds"].quantile(0.95)``.
+    """
+    from ..obs.metrics import Histogram
+
+    merged: Dict[str, Any] = {}
+    for summary in result.summaries:
+        for name, payload in getattr(summary, "histograms", {}).items():
+            histogram = Histogram.from_dict(payload)
+            if name in merged:
+                merged[name].merge(histogram)
+            else:
+                merged[name] = histogram
+    return merged
 
 
 # ----------------------------------------------------------------------

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from time import perf_counter
 from typing import Any, Callable, Optional
 
 from ..obs.bus import EventBus
@@ -71,7 +72,7 @@ class Event:
 class Simulator:
     """Discrete-event simulator with a monotonically advancing clock."""
 
-    def __init__(self) -> None:
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq = itertools.count()
@@ -79,7 +80,13 @@ class Simulator:
         self._cancelled = 0
         self._ids = itertools.count(1)
         #: The session-wide typed event stream (see :mod:`repro.obs`).
-        self.bus = EventBus()
+        #: Injectable so a session can swap in e.g. a
+        #: :class:`~repro.obs.profile.ProfiledBus`.
+        self.bus = bus if bus is not None else EventBus()
+        #: When set to a :class:`~repro.obs.profile.Profiler`, the run
+        #: loop times every dispatched callback into it (opt-in; the
+        #: ``None`` check is the only cost on the default path).
+        self.profiler = None
 
     def next_id(self) -> int:
         """Draw from the run-scoped id sequence (connection ids etc.).
@@ -141,7 +148,14 @@ class Simulator:
                     raise SimulationError(
                         f"event at {event.time} is behind clock {self.now}")
                 self.now = max(self.now, event.time)
-                event.callback(*event.args)
+                profiler = self.profiler
+                if profiler is None:
+                    event.callback(*event.args)
+                else:
+                    started = perf_counter()
+                    event.callback(*event.args)
+                    profiler.record_callback(event.callback,
+                                             perf_counter() - started)
             if until is not None and until > self.now:
                 self.now = until
         finally:

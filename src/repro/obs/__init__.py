@@ -9,6 +9,16 @@ player, and the energy model — publishes typed events onto a single
 :class:`~repro.dash.events.PlayerEventLog`) are subscribers of that bus,
 and :mod:`repro.obs.trace_export` turns the stream into a JSONL trace that
 can be dumped, reloaded, and replayed into the analysis tool offline.
+
+On top of the stream sit three derived views, all bus subscribers and all
+reconstructible offline from a trace:
+
+* :mod:`repro.obs.metrics` — counters, gauges, mergeable histograms, and
+  timeseries (the standard session registry, Prometheus/JSON exposition);
+* :mod:`repro.obs.spans` — the causal span tree of every chunk, exportable
+  as Chrome trace-event JSON for Perfetto;
+* :mod:`repro.obs.profile` — opt-in wall-clock attribution per event
+  type, subscriber handler, and simulator callback.
 """
 
 from .bus import EventBus
@@ -17,30 +27,44 @@ from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      CwndRestarted, DeadlineArmed, DeadlineDisarmed,
                      DeadlineExtended, DeadlineMissed, HttpRequestSent,
                      HttpResponseReceived, MpDashArmed, MpDashSkipped,
-                     PacketSent, PathStateRequested, PlaybackEnded,
-                     PlaybackStarted, QualitySwitched, RadioStateChange,
-                     SchedulerActivated, SessionClosed, StallEnd, StallStart,
-                     SubflowReconnected, SubflowStateChange, SweepCompleted,
-                     SweepRunFailed, SweepRunFinished, SweepRunStarted,
-                     SweepStarted, TraceEvent, TransferCompleted,
-                     TransferStarted, event_from_dict, event_to_dict)
+                     PacketSent, PathSampled, PathStateRequested,
+                     PlaybackEnded, PlaybackStarted, QualitySwitched,
+                     RadioStateChange, SchedulerActivated, SessionClosed,
+                     StallEnd, StallStart, SubflowReconnected,
+                     SubflowStateChange, SweepCompleted, SweepRunFailed,
+                     SweepRunFinished, SweepRunStarted, SweepStarted,
+                     TraceEvent, TransferCompleted, TransferStarted,
+                     event_from_dict, event_to_dict)
+from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                      PathSampler, SessionMetricsCollector, Timeseries,
+                      collector_from_trace, exponential_buckets,
+                      linear_buckets, registry_from_trace)
+from .profile import ProfiledBus, Profiler
+from .spans import (Span, SpanBuilder, dump_chrome_trace, render_span_tree,
+                    spans_from_trace, to_chrome_trace)
 from .trace_export import (Trace, TraceMeta, TraceRecorder,
                            analyzer_from_trace, dump_jsonl, dumps_jsonl,
                            load_jsonl, loads_jsonl, metrics_from_trace,
                            replay)
 
 __all__ = [
-    "EVENT_TYPES", "RADIO_ACTIVE", "RADIO_IDLE", "RADIO_TAIL", "ChunkDownloaded", "ChunkRequested", "CwndRestarted",
+    "EVENT_TYPES", "RADIO_ACTIVE", "RADIO_IDLE", "RADIO_TAIL",
+    "ChunkDownloaded", "ChunkRequested", "Counter", "CwndRestarted",
     "DeadlineArmed", "DeadlineDisarmed", "DeadlineExtended",
-    "DeadlineMissed", "EventBus", "HttpRequestSent", "HttpResponseReceived",
-    "MpDashArmed", "MpDashSkipped", "PacketSent", "PathStateRequested",
-    "PlaybackEnded", "PlaybackStarted", "QualitySwitched",
-    "RadioStateChange", "SchedulerActivated", "SessionClosed", "StallEnd",
-    "StallStart", "SubflowReconnected", "SubflowStateChange",
-    "SweepCompleted", "SweepRunFailed", "SweepRunFinished",
-    "SweepRunStarted", "SweepStarted", "Trace",
-    "TraceEvent", "TraceMeta", "TraceRecorder", "TransferCompleted",
-    "TransferStarted", "analyzer_from_trace", "dump_jsonl", "dumps_jsonl",
-    "event_from_dict", "event_to_dict", "load_jsonl", "loads_jsonl",
-    "metrics_from_trace", "replay",
+    "DeadlineMissed", "EventBus", "Gauge", "Histogram", "HttpRequestSent",
+    "HttpResponseReceived", "MetricsRegistry", "MpDashArmed",
+    "MpDashSkipped", "PacketSent", "PathSampled", "PathSampler",
+    "PathStateRequested", "PlaybackEnded", "PlaybackStarted",
+    "ProfiledBus", "Profiler", "QualitySwitched", "RadioStateChange",
+    "SchedulerActivated", "SessionClosed", "SessionMetricsCollector",
+    "Span", "SpanBuilder", "StallEnd", "StallStart", "SubflowReconnected",
+    "SubflowStateChange", "SweepCompleted", "SweepRunFailed",
+    "SweepRunFinished", "SweepRunStarted", "SweepStarted", "Timeseries",
+    "Trace", "TraceEvent", "TraceMeta", "TraceRecorder",
+    "TransferCompleted", "TransferStarted", "analyzer_from_trace",
+    "collector_from_trace", "dump_chrome_trace", "dump_jsonl",
+    "dumps_jsonl", "event_from_dict", "event_to_dict",
+    "exponential_buckets", "linear_buckets", "load_jsonl", "loads_jsonl",
+    "metrics_from_trace", "registry_from_trace", "render_span_tree",
+    "replay", "spans_from_trace", "to_chrome_trace",
 ]

@@ -14,7 +14,7 @@ unobserved layer costs almost nothing beyond constructing the event.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from .events import TraceEvent
 
@@ -61,7 +61,12 @@ class EventBus:
 
     def unsubscribe(self, event_type: Type[TraceEvent],
                     handler: Handler) -> None:
-        """Remove a typed subscription; no-op if absent."""
+        """Remove a typed subscription.
+
+        Unsubscribing a handler that was never registered (or was already
+        removed) is a documented no-op, not an error — teardown paths may
+        run more than once.
+        """
         handlers = self._by_type.get(event_type)
         if handlers and handler in handlers:
             handlers.remove(handler)
@@ -73,7 +78,8 @@ class EventBus:
             self._all.remove(handler)
             self._dispatch.clear()
 
-    def subscriber_count(self, event_type: Type[TraceEvent] = None) -> int:
+    def subscriber_count(
+            self, event_type: Optional[Type[TraceEvent]] = None) -> int:
         """Subscribers that would see an ``event_type`` event (or, with no
         argument, the total number of registrations)."""
         if event_type is None:

@@ -11,7 +11,8 @@ Layer map:
 
 =============  ======================================================
 kernel/net     :class:`CwndRestarted`
-transport      :class:`PacketSent`, :class:`TransferStarted`,
+transport      :class:`PacketSent`, :class:`PathSampled`,
+               :class:`TransferStarted`,
                :class:`TransferCompleted`, :class:`SubflowStateChange`,
                :class:`SubflowReconnected`, :class:`PathStateRequested`
 MP-DASH core   :class:`DeadlineArmed`, :class:`DeadlineDisarmed`,
@@ -61,6 +62,23 @@ class PacketSent(TraceEvent):
 
     path: str
     num_bytes: float
+    conn: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class PathSampled(TraceEvent):
+    """Periodic read-only snapshot of one subflow's transport state.
+
+    Published by the metrics :class:`~repro.obs.metrics.PathSampler` (not
+    by the transport itself) so cwnd/RTT/throughput timeseries exist
+    without a per-tick event flood.  Sampling never mutates the subflow,
+    so attaching a sampler cannot perturb simulation physics.
+    """
+
+    path: str
+    cwnd: float
+    rtt: float
+    throughput: float
     conn: int = 0
 
 
@@ -167,6 +185,9 @@ class DeadlineMissed(TraceEvent):
 @dataclass(frozen=True, slots=True)
 class HttpRequestSent(TraceEvent):
     url: str
+    #: Client-scoped request id correlating request with response (spans
+    #: join on it).  Defaults to 0 so pre-PR-3 traces still load.
+    request: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -174,6 +195,7 @@ class HttpResponseReceived(TraceEvent):
     url: str
     status: int
     content_length: int
+    request: int = 0
 
 
 # ----------------------------------------------------------------------
@@ -322,7 +344,8 @@ class RadioStateChange(TraceEvent):
 #: Name → class registry used by the JSONL loader.
 EVENT_TYPES: Dict[str, type] = {
     cls.__name__: cls for cls in (
-        PacketSent, TransferStarted, TransferCompleted, PathStateRequested,
+        PacketSent, PathSampled, TransferStarted, TransferCompleted,
+        PathStateRequested,
         SubflowStateChange, SubflowReconnected, CwndRestarted, DeadlineArmed,
         DeadlineDisarmed, DeadlineExtended, SchedulerActivated,
         DeadlineMissed, HttpRequestSent, HttpResponseReceived,

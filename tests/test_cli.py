@@ -163,3 +163,112 @@ class TestTrace:
         assert "trace live" in out
         assert "events" in out
         assert "energy J" in out
+
+
+SESSION_ARGS = ["--duration", "40", "--wifi", "8", "--lte", "8", "--mpdash"]
+
+
+class TestStats:
+    def test_prometheus_on_stdout(self, capsys):
+        assert main(["stats"] + SESSION_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_chunks_downloaded_total counter" in out
+        assert "repro_deadline_slack_seconds_bucket" in out
+
+    def test_json_stdout_is_machine_parseable(self, capsys):
+        assert main(["stats"] + SESSION_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = {m["name"] for m in payload["metrics"]}
+        assert "repro_chunks_downloaded_total" in names
+        assert "repro_path_bytes_total" in names
+
+    def test_offline_equals_live(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace"] + SESSION_ARGS + ["--out", path]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--load", path, "--json"]) == 0
+        captured = capsys.readouterr()
+        # The rebuilt-from note goes to stderr; stdout stays pure JSON.
+        assert "rebuilt from" in captured.err
+        offline = json.loads(captured.out)
+        assert any(m["name"] == "repro_chunks_downloaded_total"
+                   for m in offline["metrics"])
+
+    def test_load_error_exits_1_on_stderr(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["stats", "--load", missing]) == 1
+        captured = capsys.readouterr()
+        assert "cannot load" in captured.err
+        assert captured.out == ""
+
+
+class TestSpans:
+    def test_tree_on_stdout(self, capsys):
+        assert main(["spans"] + SESSION_ARGS) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("session")
+        assert any(line.lstrip().startswith("chunk[") for line in lines)
+
+    def test_json_round_trip_offline(self, tmp_path, capsys):
+        assert main(["spans"] + SESSION_ARGS + ["--json"]) == 0
+        live = json.loads(capsys.readouterr().out)
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace"] + SESSION_ARGS + ["--out", path]) == 0
+        capsys.readouterr()
+        assert main(["spans", "--load", path, "--json"]) == 0
+        offline = json.loads(capsys.readouterr().out)
+        # Same seeded stream -> identical span dicts, live or offline.
+        assert offline == live
+        assert live[0]["kind"] == "session"
+
+    def test_chrome_export_validates(self, tmp_path, capsys):
+        target = str(tmp_path / "spans.chrome.json")
+        assert main(["spans"] + SESSION_ARGS + ["--chrome", target]) == 0
+        captured = capsys.readouterr()
+        assert "Perfetto" in captured.err
+        records = json.loads(open(target).read())
+        assert isinstance(records, list) and records
+        for record in records:
+            assert record["ph"] == "X"
+            assert {"ts", "dur", "pid", "tid", "name"} <= set(record)
+
+    def test_limit(self, capsys):
+        assert main(["spans"] + SESSION_ARGS + ["--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "more spans" in out
+
+
+class TestProfile:
+    def test_report_sections(self, capsys):
+        assert main(["profile"] + SESSION_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "profiled wall clock" in out
+        assert "Bus events (inclusive dispatch time)" in out
+        assert "Simulator callbacks" in out
+
+    def test_json(self, capsys):
+        assert main(["profile"] + SESSION_ARGS + ["--json", "--top", "5"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["wall_clock"] > 0
+        assert "PacketSent" in payload["events"]
+
+
+class TestStderrRouting:
+    def test_sweep_progress_not_on_stdout(self, capsys):
+        assert main(["sweep", "--abr", "gpac", "--duration", "20",
+                     "--wifi", "8", "--lte", "8",
+                     "--grid", "wifi_mbps=6,8"]) == 0
+        captured = capsys.readouterr()
+        # Per-run progress lines go to stderr; stdout carries the table.
+        assert "run 1/2" in captured.err
+        assert "run 1/2" not in captured.out
+        assert "2 runs" in captured.out
+
+    def test_trace_out_note_not_on_stdout(self, tmp_path, capsys):
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace"] + SESSION_ARGS + ["--out", path,
+                                                "--json"]) == 0
+        captured = capsys.readouterr()
+        json.loads(captured.out)
+        assert "trace written to" in captured.err

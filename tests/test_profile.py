@@ -1,0 +1,159 @@
+"""Tests for repro.obs.profile: the profiler and its two hooks."""
+
+import functools
+import json
+
+from repro.experiments import SessionConfig, run_session
+from repro.net.simulator import Simulator
+from repro.obs import EventBus, ProfiledBus, Profiler
+from repro.obs.events import StallEnd, StallStart, TraceEvent
+from repro.obs.profile import Stat, _callable_name
+
+
+def short_config(**kwargs):
+    defaults = dict(video="big_buck_bunny", abr="festive", mpdash=True,
+                    deadline_mode="rate", wifi_mbps=3.8, lte_mbps=3.0,
+                    video_duration=60.0)
+    defaults.update(kwargs)
+    return SessionConfig(**defaults)
+
+
+class TestStat:
+    def test_accumulates(self):
+        stat = Stat()
+        stat.add(0.5)
+        stat.add(1.5)
+        assert stat.calls == 2
+        assert stat.total == 2.0
+        assert stat.mean == 1.0
+        assert stat.to_dict() == {"calls": 2, "total": 2.0}
+
+    def test_empty_mean_is_zero(self):
+        assert Stat().mean == 0.0
+
+
+class TestCallableName:
+    def test_method_and_function(self):
+        assert _callable_name(TestCallableName.test_method_and_function) \
+            == "test_profile.TestCallableName.test_method_and_function"
+
+    def test_partial(self):
+        def f(a, b):
+            return a + b
+        name = _callable_name(functools.partial(f, 1))
+        assert name.startswith("partial(") and "f" in name
+
+    def test_callable_instance(self):
+        class Handler:
+            def __call__(self, event):
+                pass
+        assert _callable_name(Handler()) == "Handler"
+
+
+class TestProfiledBus:
+    def test_delivery_semantics_match_plain_bus(self):
+        plain, profiled = EventBus(), ProfiledBus()
+        order = {"plain": [], "profiled": []}
+        for bus, key in ((plain, "plain"), (profiled, "profiled")):
+            bus.subscribe(StallStart,
+                          lambda e, key=key: order[key].append(("typed", e)))
+            bus.subscribe_all(
+                lambda e, key=key: order[key].append(("all", e)))
+            bus.publish(StallStart(1.0))
+            bus.publish(StallEnd(2.0))
+        assert order["plain"] == order["profiled"]
+        assert profiled.published == 2
+
+    def test_timings_recorded_per_event_and_handler(self):
+        bus = ProfiledBus()
+        bus.subscribe(StallStart, lambda e: None)
+        bus.publish(StallStart(1.0))
+        bus.publish(StallStart(2.0))
+        bus.publish(StallEnd(3.0))  # no handlers: event stat only
+        profiler = bus.profiler
+        assert profiler.events["StallStart"].calls == 2
+        assert profiler.events["StallEnd"].calls == 1
+        (handler_name,) = profiler.handlers
+        assert handler_name.startswith("StallStart → ")
+        assert profiler.handlers[handler_name].calls == 2
+        assert profiler.events["StallStart"].total >= 0
+
+    def test_external_profiler_shared(self):
+        profiler = Profiler()
+        bus = ProfiledBus(profiler)
+        bus.publish(StallStart(1.0))
+        assert profiler.events["StallStart"].calls == 1
+
+
+class TestSimulatorHook:
+    def test_callbacks_timed_when_profiler_set(self):
+        sim = Simulator()
+        sim.profiler = Profiler()
+
+        def tick():
+            pass
+
+        sim.schedule_at(1.0, tick)
+        sim.schedule_at(2.0, tick)
+        sim.run()
+        (name,) = sim.profiler.callbacks
+        assert "tick" in name
+        assert sim.profiler.callbacks[name].calls == 2
+
+    def test_default_path_has_no_profiler(self):
+        sim = Simulator()
+        assert sim.profiler is None
+        sim.schedule_at(1.0, lambda: None)
+        sim.run()  # must not fail without a profiler
+
+
+class TestReport:
+    def _profiler(self):
+        bus = ProfiledBus()
+        bus.subscribe(StallStart, lambda e: None)
+        bus.publish(StallStart(1.0))
+        profiler = bus.profiler
+        profiler.wall_clock = 0.25
+        profiler.record_callback(self._profiler, 0.001)
+        return profiler
+
+    def test_report_sections(self):
+        text = self._profiler().report()
+        assert "profiled wall clock: 0.250s" in text
+        assert "Bus events (inclusive dispatch time)" in text
+        assert "Subscriber handlers" in text
+        assert "Simulator callbacks" in text
+        assert "StallStart" in text
+
+    def test_top_orders_by_total(self):
+        profiler = Profiler()
+        profiler.record_event(StallStart, 0.001)
+        profiler.record_event(StallEnd, 0.005)
+        rows = profiler.top(profiler.events)
+        assert [name for name, _ in rows] == ["StallEnd", "StallStart"]
+        assert len(profiler.top(profiler.events, count=1)) == 1
+
+    def test_to_dict_is_json_ready(self):
+        payload = self._profiler().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["wall_clock"] == 0.25
+        assert payload["events"]["StallStart"]["calls"] == 1
+
+
+class TestLiveSession:
+    def test_run_session_profile_flag(self):
+        result = run_session(short_config(), profile=True)
+        profiler = result.profile
+        assert profiler is not None
+        assert profiler.wall_clock is not None and profiler.wall_clock > 0
+        assert profiler.events and profiler.callbacks
+        # PacketSent is the hot transport event; it must be attributed.
+        assert "PacketSent" in profiler.events
+        report = profiler.report(top=5)
+        assert "Simulator callbacks" in report
+
+    def test_profiling_does_not_change_outcomes(self):
+        bare = run_session(short_config())
+        profiled = run_session(short_config(), profile=True)
+        assert bare.metrics.cellular_bytes == profiled.metrics.cellular_bytes
+        assert bare.session_duration == profiled.session_duration

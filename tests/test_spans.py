@@ -1,0 +1,226 @@
+"""Tests for repro.obs.spans: the causal span tree and its exports."""
+
+import json
+
+import pytest
+
+from repro.experiments import SessionConfig, run_session
+from repro.obs import EventBus, dumps_jsonl, loads_jsonl
+from repro.obs.events import (ChunkDownloaded, ChunkRequested,
+                              DeadlineMissed, HttpRequestSent,
+                              HttpResponseReceived, MpDashArmed,
+                              PlaybackStarted, SchedulerActivated,
+                              SessionClosed, StallEnd, StallStart,
+                              TransferCompleted, TransferStarted)
+from repro.obs.spans import (STATUS_MISSED, STATUS_OK, STATUS_OPEN, Span,
+                             SpanBuilder, children, dump_chrome_trace,
+                             render_span_tree, spans_from_trace,
+                             spans_to_dicts, to_chrome_trace)
+
+def short_config(**kwargs):
+    defaults = dict(video="big_buck_bunny", abr="festive", mpdash=True,
+                    deadline_mode="rate", wifi_mbps=3.8, lte_mbps=3.0,
+                    video_duration=60.0)
+    defaults.update(kwargs)
+    return SessionConfig(**defaults)
+
+
+def chunk_chain(bus, index=0, url="/chunk0", transfer=1, request=1,
+                start=0.0, miss=False):
+    """Publish one chunk's full causal chain onto ``bus``."""
+    bus.publish(ChunkRequested(start, index, 1, 5.0))
+    bus.publish(MpDashArmed(start, index, 4.0))
+    bus.publish(HttpRequestSent(start, url, request))
+    bus.publish(TransferStarted(start + 0.01, transfer, url, 1e6))
+    bus.publish(SchedulerActivated(start + 0.01, transfer, 1e6, 4.0))
+    if miss:
+        bus.publish(DeadlineMissed(start + 4.01, transfer))
+        done = start + 5.0
+    else:
+        done = start + 2.0
+    bus.publish(TransferCompleted(done, transfer, url, 1e6, done - start))
+    bus.publish(HttpResponseReceived(done, url, 200, int(1e6), request))
+    bus.publish(ChunkDownloaded(done, index, 1, 1e6, done - start, start,
+                                1e6 / (done - start), {}, None, 5.0))
+
+
+class TestSpanBuilder:
+    def test_single_chunk_chain(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        chunk_chain(bus)
+        bus.publish(SessionClosed(10.0))
+        spans = builder.spans
+        by_kind = {s.kind: s for s in spans}
+        assert set(by_kind) == {"session", "chunk", "request", "transfer",
+                                "deadline"}
+        session = by_kind["session"]
+        chunk = by_kind["chunk"]
+        request = by_kind["request"]
+        transfer = by_kind["transfer"]
+        deadline = by_kind["deadline"]
+        # Parent chain: session <- chunk <- request <- transfer <- deadline.
+        assert session.parent is None
+        assert chunk.parent == session.span_id
+        assert request.parent == chunk.span_id
+        assert transfer.parent == request.span_id
+        assert deadline.parent == transfer.span_id
+        # All closed OK with the expected intervals.
+        assert all(s.status == STATUS_OK for s in spans)
+        assert chunk.start == 0.0 and chunk.end == 2.0
+        assert deadline.attrs["deadline_at"] == pytest.approx(4.01)
+        assert deadline.attrs["slack"] == pytest.approx(2.01)
+        assert chunk.attrs["mpdash"] == "armed"
+        assert chunk.attrs["final_level"] == 1
+        assert children(spans, session) == [chunk]
+
+    def test_deadline_miss_marks_span(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        chunk_chain(bus, miss=True)
+        bus.publish(SessionClosed(10.0))
+        deadline = next(s for s in builder.spans if s.kind == "deadline")
+        assert deadline.status == STATUS_MISSED
+        assert deadline.attrs["missed_at"] == pytest.approx(4.01)
+        assert deadline.attrs["slack"] < 0
+        assert deadline.end == 5.0
+
+    def test_interleaved_chunks_keep_separate_trees(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        chunk_chain(bus, index=0, url="/c0", transfer=1, request=1,
+                    start=0.0)
+        chunk_chain(bus, index=1, url="/c1", transfer=2, request=2,
+                    start=3.0)
+        bus.publish(SessionClosed(10.0))
+        chunks = [s for s in builder.spans if s.kind == "chunk"]
+        assert [c.attrs["index"] for c in chunks] == [0, 1]
+        for chunk in chunks:
+            (request,) = children(builder.spans, chunk)
+            (transfer,) = children(builder.spans, request)
+            assert transfer.attrs["transfer"] == chunk.attrs["index"] + 1
+
+    def test_stall_and_playback(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        bus.publish(PlaybackStarted(1.0))
+        bus.publish(StallStart(2.0))
+        bus.publish(StallEnd(3.5))
+        bus.publish(SessionClosed(5.0))
+        session = builder.spans[0]
+        assert session.attrs["playback_started"] == 1.0
+        stall = next(s for s in builder.spans if s.kind == "stall")
+        assert stall.duration == pytest.approx(1.5)
+        assert stall.status == STATUS_OK
+
+    def test_session_close_finishes_open_spans(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        bus.publish(ChunkRequested(1.0, 0, 1, 5.0))
+        bus.publish(StallStart(2.0))
+        bus.publish(SessionClosed(4.0))
+        for span in builder.spans:
+            assert span.end == 4.0
+        # Non-session spans that never completed keep OPEN status.
+        chunk = next(s for s in builder.spans if s.kind == "chunk")
+        assert chunk.status == STATUS_OPEN
+        assert builder.spans[0].status == STATUS_OK
+
+    def test_span_value_equality(self):
+        a = Span(1, "x", "chunk", 0.0, attrs={"k": 1})
+        b = Span(1, "x", "chunk", 0.0, attrs={"k": 1})
+        assert a == b
+        b.close(1.0)
+        assert a != b
+
+
+class TestChromeTrace:
+    def _spans(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        chunk_chain(bus)
+        bus.publish(SessionClosed(10.0))
+        return builder.spans
+
+    def test_records_validate_against_trace_event_schema(self):
+        records = to_chrome_trace(self._spans())
+        assert isinstance(records, list) and records
+        for record in records:
+            # Complete events: the required trace-event fields, µs times.
+            assert record["ph"] == "X"
+            assert isinstance(record["ts"], (int, float))
+            assert isinstance(record["dur"], (int, float))
+            assert record["dur"] >= 0
+            assert isinstance(record["pid"], int)
+            assert isinstance(record["tid"], int)
+            assert isinstance(record["name"], str)
+            assert isinstance(record["args"], dict)
+
+    def test_microsecond_timestamps_and_lanes(self):
+        spans = self._spans()
+        records = to_chrome_trace(spans)
+        chunk = next(r for r in records if r["cat"] == "chunk")
+        assert chunk["ts"] == 0.0
+        assert chunk["dur"] == pytest.approx(2e6)
+        tids = {r["cat"]: r["tid"] for r in records}
+        assert len(set(tids.values())) == len(tids)  # one lane per kind
+
+    def test_dump_round_trips_through_json(self, tmp_path):
+        spans = self._spans()
+        target = tmp_path / "trace.json"
+        dump_chrome_trace(str(target), spans)
+        loaded = json.loads(target.read_text())
+        assert isinstance(loaded, list)
+        assert len(loaded) == len(spans)
+        assert all("ph" in r and "ts" in r and "pid" in r and "tid" in r
+                   for r in loaded)
+
+    def test_spans_to_dicts(self):
+        spans = self._spans()
+        payload = spans_to_dicts(spans)
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload[0]["kind"] == "session"
+
+
+class TestRenderTree:
+    def test_indented_tree_with_markers(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        chunk_chain(bus, miss=True)
+        bus.publish(ChunkRequested(9.0, 1, 1, 5.0))
+        bus.publish(SessionClosed(10.0))
+        text = render_span_tree(builder.spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("session")
+        assert lines[1].startswith("  chunk[0]")
+        assert any("[MISSED]" in line for line in lines)
+
+    def test_limit_appends_elision_note(self):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        for index in range(5):
+            chunk_chain(bus, index=index, url=f"/c{index}",
+                        transfer=index + 1, request=index + 1,
+                        start=float(index * 3))
+        bus.publish(SessionClosed(20.0))
+        text = render_span_tree(builder.spans, max_spans=4)
+        assert "more spans" in text.splitlines()[-1]
+
+
+class TestLiveSession:
+    def test_spans_attached_via_config(self):
+        result = run_session(short_config(collect_spans=True))
+        spans = result.spans
+        assert spans and spans[0].kind == "session"
+        kinds = {s.kind for s in spans}
+        assert {"session", "chunk", "request", "transfer"} <= kinds
+        # Every chunk span closed by the session end.
+        assert all(s.end is not None for s in spans)
+        chunk_count = sum(1 for s in spans if s.kind == "chunk")
+        assert chunk_count == len(result.player.log.chunks)
+
+    def test_offline_spans_equal_live(self):
+        result = run_session(short_config(collect_spans=True,
+                                          record_trace=True))
+        trace = loads_jsonl(dumps_jsonl(result.events, result.trace_meta))
+        assert spans_from_trace(trace) == result.spans

@@ -305,3 +305,67 @@ class TestRunSchemesOnEngine:
             # RunFailure surfaces as an exception at this level.
             base = short_config(video_duration=-1.0)
             run_schemes(base, schemes=("baseline",))
+
+
+class TestSweepHistograms:
+    def _metric_config(self, **overrides):
+        # Constrained links so MP-DASH actually arms deadlines and the
+        # slack histogram has samples.
+        defaults = dict(mpdash=True, collect_metrics=True, wifi_mbps=3.8,
+                        lte_mbps=3.0, video_duration=40.0)
+        defaults.update(overrides)
+        return short_config(**defaults)
+
+    def test_summary_carries_serialized_histograms(self):
+        result = run_session(self._metric_config())
+        summary = summarize_session(result)
+        assert "repro_deadline_slack_seconds" in summary.histograms
+        payload = json.loads(json.dumps(summary.to_dict()))
+        again = summary_from_dict(payload)
+        assert again.histograms == summary.histograms
+
+    def test_pre_histogram_payloads_still_load(self):
+        """Cache artifacts written before histograms existed have no
+        'histograms' key; loading them must not fail."""
+        summary = summarize_session(run_session(short_config()))
+        payload = json.loads(json.dumps(summary.to_dict()))
+        del payload["histograms"]
+        again = summary_from_dict(payload)
+        assert again.histograms == {}
+        assert again.metrics == summary.metrics
+
+    def test_histograms_survive_the_cache(self, tmp_path):
+        from repro.experiments.sweep import merged_histograms
+
+        configs = [self._metric_config(),
+                   self._metric_config(wifi_mbps=6.0)]
+        cache = str(tmp_path / "cache")
+        first = run_sweep(configs, cache_dir=cache)
+        second = run_sweep(configs, cache_dir=cache)
+        assert second.cache_hits == 2
+        for fresh, cached in zip(first.runs, second.runs):
+            assert cached.summary.histograms == fresh.summary.histograms
+        merged = merged_histograms(second)
+        slack = merged["repro_deadline_slack_seconds"]
+        assert slack.count == sum(
+            run.summary.histograms["repro_deadline_slack_seconds"]["count"]
+            for run in second.runs)
+        assert slack.quantile(0.95) is not None
+
+    def test_merged_histograms_skips_runs_without_metrics(self):
+        from repro.experiments.sweep import merged_histograms
+
+        sweep = run_sweep([short_config()])
+        assert merged_histograms(sweep) == {}
+
+    def test_sweep_table_reports_slack(self):
+        sweep = run_sweep([self._metric_config()])
+        table = sweep_table(sweep)
+        assert "p95 slack" in table
+        assert "merged deadline slack" in table
+
+    def test_sweep_table_without_metrics_has_no_footer(self):
+        sweep = run_sweep([short_config()])
+        table = sweep_table(sweep)
+        assert "p95 slack" in table  # the column is always present
+        assert "merged deadline slack" not in table
