@@ -13,13 +13,16 @@ equivalent entry point, plus runners for the common experiments::
     python -m repro stats --mpdash --json
     python -m repro spans --mpdash --chrome spans.json
     python -m repro profile --duration 60
+    python -m repro check --mpdash --json
+    python -m repro check --load run.jsonl
+    python -m repro bench --label ci --compare BENCH_main.json
     python -m repro locations
     python -m repro videos
 
 Output discipline: the machine-readable payload (``--json``, the
-Prometheus exposition, the Chrome trace) goes to stdout; progress lines,
-notes, and errors go to stderr, so stdout can always be piped into a
-parser.
+Prometheus exposition, the Chrome trace, the check/bench reports) goes
+to stdout; human-oriented tables, progress lines, notes, and errors go
+to stderr, so stdout can always be piped into a parser.
 """
 
 from __future__ import annotations
@@ -38,19 +41,24 @@ from .experiments import (BASELINE, DURATION, FileDownloadConfig, RATE,
                           SessionConfig, expand_grid, run_file_download,
                           run_schemes, run_session, run_sweep)
 from .experiments.tables import format_table, pct, sweep_table
-from .obs import (EventBus, SweepRunFailed, SweepRunFinished, Trace,
-                  dump_chrome_trace, dump_jsonl, load_jsonl,
-                  metrics_from_trace, registry_from_trace,
-                  render_span_tree, spans_from_trace)
+from .obs import (BenchReport, EventBus, SweepRunFailed, SweepRunFinished,
+                  Trace, check_trace, compare_reports, dump_chrome_trace,
+                  dump_jsonl, load_jsonl, metrics_from_trace,
+                  registry_from_trace, render_span_tree, run_bench,
+                  spans_from_trace, stock_checkers)
 from .obs.spans import spans_to_dicts
 from .workloads import VIDEO_LADDERS, field_study_locations, video_names
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from . import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="MP-DASH reproduction: preference-aware multipath "
                     "video streaming")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
     commands = parser.add_subparsers(dest="command", required=True)
 
     stream = commands.add_parser(
@@ -178,6 +186,50 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--json", action="store_true",
                          help="raw timings as JSON instead of the report")
 
+    check = commands.add_parser(
+        "check", help="judge one session (live or from a trace) against "
+                      "the stock cross-layer invariants")
+    _add_session_args(check)
+    check.add_argument("--load", metavar="FILE",
+                       help="check an exported JSONL trace offline "
+                            "instead of running a session")
+    check.add_argument("--max-miss-rate", type=float, default=0.25,
+                       metavar="R",
+                       help="deadline-miss-rate budget (fraction) for "
+                            "the SLO checker")
+    check.add_argument("--max-stall-ratio", type=float, default=0.10,
+                       metavar="R",
+                       help="stall-time-ratio budget (fraction) for the "
+                            "SLO checker")
+    check.add_argument("--json", action="store_true",
+                       help="structured verdict report instead of the "
+                            "summary")
+
+    bench = commands.add_parser(
+        "bench", help="run the pinned performance scenarios and compare "
+                      "against a stored baseline")
+    bench.add_argument("--scenarios", default=None, metavar="S1,S2,...",
+                       help="subset of scenarios to run (default: all)")
+    bench.add_argument("--repeat", type=int, default=1, metavar="N",
+                       help="repetitions per scenario (best-of)")
+    bench.add_argument("--label", default="local",
+                       help="label stored in the report (default: local)")
+    bench.add_argument("--out", default=None, metavar="FILE",
+                       help="report path (default: BENCH_<label>.json; "
+                            "'-' to skip writing)")
+    bench.add_argument("--load", metavar="FILE",
+                       help="reuse an existing report instead of "
+                            "measuring (for compare-only runs)")
+    bench.add_argument("--compare", metavar="BASELINE", default=None,
+                       help="baseline BENCH_*.json to gate against; "
+                            "exits nonzero on regression")
+    bench.add_argument("--threshold", type=float, default=0.25,
+                       metavar="T",
+                       help="allowed fractional drift per metric before "
+                            "a comparison counts as a regression")
+    bench.add_argument("--json", action="store_true",
+                       help="report as JSON instead of the table")
+
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
     commands.add_parser("videos", help="list the Table-3 video ladders")
@@ -222,6 +274,8 @@ def cmd_stream(args: argparse.Namespace) -> int:
         video_duration=args.duration)
     result = run_session(config)
     metrics = result.metrics
+    # Human-oriented tables go to stderr (the stats/spans/profile
+    # convention): stdout stays machine-parseable for every command.
     print(format_table(
         ["metric", "value"],
         [["finished", result.finished],
@@ -234,10 +288,11 @@ def cmd_stream(args: argparse.Namespace) -> int:
          ["startup delay s", f"{metrics.startup_delay:.2f}"
           if metrics.startup_delay is not None else "-"]],
         title=f"{args.video} / {args.abr} "
-              f"({'MP-DASH ' + args.deadline_mode if args.mpdash else 'vanilla MPTCP'})"))
+              f"({'MP-DASH ' + args.deadline_mode if args.mpdash else 'vanilla MPTCP'})"),
+        file=sys.stderr)
     if args.visualize:
-        print()
-        print(session_report(result))
+        print(file=sys.stderr)
+        print(session_report(result), file=sys.stderr)
     return 0
 
 
@@ -263,7 +318,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
         ["scheme", "cell MB", "energy J", "bitrate", "stalls",
          "cell saved", "LTE-energy saved"],
         rows, title=f"{args.video} / {args.abr} @ "
-                    f"W{args.wifi}/L{args.lte} Mbps"))
+                    f"W{args.wifi}/L{args.lte} Mbps"),
+        file=sys.stderr)
     return 0
 
 
@@ -351,7 +407,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     if args.json:
         print(json.dumps(_sweep_report(result), sort_keys=True))
     else:
-        print(sweep_table(result))
+        print(sweep_table(result), file=sys.stderr)
     # Failures are data, not harness errors: the sweep completed.
     return 0
 
@@ -538,6 +594,88 @@ def cmd_profile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_check(args: argparse.Namespace) -> int:
+    """Judge one session against the stock invariant battery.
+
+    Exit status: 0 when no ERROR-severity violation was found (warnings
+    are reported but do not fail the check), 1 on ERROR violations, 2
+    when a trace could not be loaded.
+    """
+    checkers = stock_checkers(max_miss_rate=args.max_miss_rate,
+                              max_stall_ratio=args.max_stall_ratio)
+    if args.load is not None:
+        try:
+            trace = load_jsonl(args.load)
+        except (OSError, ValueError) as exc:
+            print(f"repro check: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
+            return 2
+        report = check_trace(trace, checkers)
+        print(f"checked {args.load} offline", file=sys.stderr)
+    else:
+        result = run_session(_session_config(args), checkers=checkers)
+        report = result.check_report
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Measure the pinned performance scenarios, optionally gated.
+
+    Exit status: 0 clean, 1 when ``--compare`` found a regression, 2 on
+    bad arguments or unreadable report files.
+    """
+    if args.load is not None:
+        try:
+            report = BenchReport.load(args.load)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro bench: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        scenarios = ([s.strip() for s in args.scenarios.split(",")]
+                     if args.scenarios is not None else None)
+        try:
+            report = run_bench(
+                scenarios=scenarios, repeats=args.repeat, label=args.label,
+                progress=lambda message: print(message, file=sys.stderr))
+        except ValueError as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
+        out = args.out if args.out is not None else \
+            f"BENCH_{args.label}.json"
+        if out != "-":
+            report.dump(out)
+            print(f"benchmark report written to {out}", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(report.render(), file=sys.stderr)
+
+    if args.compare is not None:
+        try:
+            baseline = BenchReport.load(args.compare)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro bench: cannot load baseline {args.compare}: "
+                  f"{exc}", file=sys.stderr)
+            return 2
+        regressions = compare_reports(report, baseline,
+                                      threshold=args.threshold)
+        if regressions:
+            print(f"PERFORMANCE REGRESSION vs {args.compare} "
+                  f"(threshold {args.threshold:.0%}):", file=sys.stderr)
+            for regression in regressions:
+                print(f"  {regression}", file=sys.stderr)
+            return 1
+        print(f"no regression vs {args.compare} "
+              f"(threshold {args.threshold:.0%})", file=sys.stderr)
+    return 0
+
+
 def cmd_locations(_args: argparse.Namespace) -> int:
     rows = [[loc.name, loc.scenario, loc.wifi_mbps, loc.wifi_rtt_ms,
              loc.lte_mbps, loc.lte_rtt_ms]
@@ -567,6 +705,8 @@ _COMMANDS = {
     "stats": cmd_stats,
     "spans": cmd_spans,
     "profile": cmd_profile,
+    "check": cmd_check,
+    "bench": cmd_bench,
     "locations": cmd_locations,
     "videos": cmd_videos,
 }

@@ -27,6 +27,7 @@ from ..energy.model import EnergyBreakdown, session_energy
 from ..mptcp.connection import MptcpConnection
 from ..net.link import cellular_path, wifi_path
 from ..net.simulator import Simulator
+from ..obs.check import Checker, CheckReport, InvariantMonitor
 from ..obs.events import SessionClosed, TraceEvent
 from ..obs.metrics import (MetricsRegistry, PathSampler,
                            SessionMetricsCollector)
@@ -62,6 +63,9 @@ class SessionResult:
     #: Wall-clock attribution; populated when ``run_session`` was called
     #: with ``profile=True`` (see :mod:`repro.obs.profile`).
     profile: Optional[Profiler] = None
+    #: Invariant verdicts; populated when ``run_session`` was called with
+    #: ``check=True`` (see :mod:`repro.obs.check`).
+    check_report: Optional[CheckReport] = None
 
     @property
     def trace_meta(self) -> TraceMeta:
@@ -115,19 +119,25 @@ def _build_paths(config) -> list:
     return paths
 
 
-def run_session(config: SessionConfig, profile: bool = False
-                ) -> SessionResult:
+def run_session(config: SessionConfig, profile: bool = False,
+                check: bool = False,
+                checkers: Optional[List[Checker]] = None) -> SessionResult:
     """Simulate one streaming session to completion (or the time cap).
 
     ``profile=True`` swaps in a :class:`~repro.obs.profile.ProfiledBus`
     and arms the simulator-loop profiler; it is a runner argument rather
     than a config field because it changes what is *measured about* the
     run, never the run itself (sweep cache keys must not depend on it).
+    ``check=True`` attaches an :class:`~repro.obs.check.InvariantMonitor`
+    (the stock battery, or ``checkers``) on the same terms.
     """
     profiler = Profiler() if profile else None
     sim = Simulator(bus=ProfiledBus(profiler) if profile else None)
     sim.profiler = profiler
     recorder = TraceRecorder(sim.bus) if config.record_trace else None
+    monitor = None
+    if check or checkers is not None:
+        monitor = InvariantMonitor(checkers, bus=sim.bus)
     collector = None
     if config.collect_metrics:
         collector = SessionMetricsCollector(
@@ -188,7 +198,9 @@ def run_session(config: SessionConfig, profile: bool = False
                          metrics_registry=(collector.registry
                                            if collector else None),
                          spans=span_builder.spans if span_builder else None,
-                         profile=profiler)
+                         profile=profiler,
+                         check_report=(monitor.report() if monitor
+                                       else None))
 
 
 @dataclass

@@ -145,6 +145,10 @@ class SessionSummary:
     #: dicts (not Histogram objects) so the summary stays a JSON value;
     #: :func:`merged_histograms` revives and folds them per grid point.
     histograms: Dict[str, Any] = field(default_factory=dict)
+    #: Invariant-violation counts by severity (see
+    #: :mod:`repro.obs.check`); ``None`` when the run was not checked,
+    #: an empty dict when checked and clean.
+    violations: Optional[Dict[str, int]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": "session", "config_key": self.config_key,
@@ -152,17 +156,22 @@ class SessionSummary:
                 "session_duration": self.session_duration,
                 "metrics": asdict(self.metrics),
                 "scheduler_stats": dict(self.scheduler_stats),
-                "histograms": dict(self.histograms)}
+                "histograms": dict(self.histograms),
+                "violations": (dict(self.violations)
+                               if self.violations is not None else None)}
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "SessionSummary":
         # .get: artifacts cached by pre-histogram versions still load.
+        violations = payload.get("violations")
         return cls(config_key=payload["config_key"],
                    finished=payload["finished"],
                    session_duration=payload["session_duration"],
                    metrics=SessionMetrics(**payload["metrics"]),
                    scheduler_stats=dict(payload["scheduler_stats"]),
-                   histograms=dict(payload.get("histograms", {})))
+                   histograms=dict(payload.get("histograms", {})),
+                   violations=(dict(violations) if violations is not None
+                               else None))
 
 
 @dataclass
@@ -229,13 +238,20 @@ def summarize_session(result: SessionResult,
                 rendered = ",".join(f"{k}={v}" for k, v in histogram.labels)
                 name = f"{name}{{{rendered}}}"
             histograms[name] = histogram.to_dict()
+    violations: Optional[Dict[str, int]] = None
+    if result.check_report is not None:
+        violations = {}
+        for violation in result.check_report.violations:
+            violations[violation.severity] = \
+                violations.get(violation.severity, 0) + 1
     return SessionSummary(
         config_key=key if key is not None else config_key(result.config),
         finished=result.finished,
         session_duration=result.session_duration,
         metrics=result.metrics,
         scheduler_stats=dict(result.scheduler_stats),
-        histograms=histograms)
+        histograms=histograms,
+        violations=violations)
 
 
 def summarize_download(result: FileDownloadResult,
@@ -250,9 +266,15 @@ def summarize_download(result: FileDownloadResult,
 
 
 def default_runner(config: SweepConfig) -> RunSummary:
-    """Run one config with the matching runner and summarize the result."""
+    """Run one config with the matching runner and summarize the result.
+
+    Sessions run with the stock invariant checkers attached (see
+    :mod:`repro.obs.check`), so every sweep doubles as a consistency
+    audit: per-run violation counts ride the summary into
+    :func:`~repro.experiments.tables.sweep_table`.
+    """
     if isinstance(config, SessionConfig):
-        return summarize_session(run_session(config))
+        return summarize_session(run_session(config, check=True))
     if isinstance(config, FileDownloadConfig):
         return summarize_download(run_file_download(config))
     raise TypeError(

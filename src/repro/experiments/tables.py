@@ -43,6 +43,17 @@ def _cell(value) -> str:
     return str(value)
 
 
+def _violation_cell(violations) -> str:
+    """Render per-run invariant verdicts: "-" unchecked, "0" clean, else
+    counts like "2E+1W" (errors, warnings, info)."""
+    if violations is None:
+        return "-"
+    parts = [f"{violations[sev]}{sev[0].upper()}"
+             for sev in ("error", "warning", "info")
+             if violations.get(sev)]
+    return "+".join(parts) if parts else "0"
+
+
 def pct(fraction: float, digits: int = 1) -> str:
     """Format a fraction as a percentage string."""
     return f"{fraction * 100:.{digits}f}%"
@@ -80,7 +91,7 @@ def sweep_table(result) -> str:
         status = ("cached" if run.cached
                   else "ok" if run.ok
                   else f"failed:{run.failure.kind}")
-        cell_mb = energy = bitrate = stalls = slack = "-"
+        cell_mb = energy = bitrate = stalls = slack = viol = "-"
         summary = run.summary
         if isinstance(summary, SessionSummary):
             metrics = summary.metrics
@@ -88,6 +99,7 @@ def sweep_table(result) -> str:
             energy = f"{metrics.radio_energy:.1f}"
             bitrate = f"{metrics.mean_bitrate_mbps:.2f}"
             stalls = str(metrics.stall_count)
+            viol = _violation_cell(summary.violations)
             payload = summary.histograms.get(slack_name)
             if payload is not None and payload["count"] > 0:
                 p95 = Histogram.from_dict(payload).quantile(0.95)
@@ -99,14 +111,15 @@ def sweep_table(result) -> str:
         detail = run.failure.error if run.failure is not None else ""
         rows.append([run.index, run.config_key[:12], status,
                      f"{run.elapsed:.2f}", cell_mb, energy, bitrate, stalls,
-                     slack, detail])
+                     slack, viol, detail])
     title = (f"sweep: {len(result.runs)} runs, "
              f"{len(result.failures)} failed, "
              f"{result.cache_hits} cached, "
              f"wall {result.wall_clock:.2f}s on {result.jobs} job(s)")
     table = format_table(
         ["run", "key", "status", "time s", "cell MB", "energy J",
-         "bitrate", "stalls", "p95 slack", "detail"], rows, title=title)
+         "bitrate", "stalls", "p95 slack", "viol", "detail"], rows,
+        title=title)
     merged = merged_histograms(result)
     slack_hist = merged.get(slack_name)
     if slack_hist is not None and slack_hist.count > 0:

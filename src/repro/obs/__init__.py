@@ -10,7 +10,7 @@ player, and the energy model — publishes typed events onto a single
 and :mod:`repro.obs.trace_export` turns the stream into a JSONL trace that
 can be dumped, reloaded, and replayed into the analysis tool offline.
 
-On top of the stream sit three derived views, all bus subscribers and all
+On top of the stream sit four derived views, all bus subscribers and all
 reconstructible offline from a trace:
 
 * :mod:`repro.obs.metrics` — counters, gauges, mergeable histograms, and
@@ -18,10 +18,22 @@ reconstructible offline from a trace:
 * :mod:`repro.obs.spans` — the causal span tree of every chunk, exportable
   as Chrome trace-event JSON for Perfetto;
 * :mod:`repro.obs.profile` — opt-in wall-clock attribution per event
-  type, subscriber handler, and simulator callback.
+  type, subscriber handler, and simulator callback;
+* :mod:`repro.obs.check` — declarative invariant monitoring: stock
+  checkers judge the stream against the paper's semantic contracts and
+  emit structured violations.
+
+:mod:`repro.obs.bench` is the performance counterpart: pinned scenarios
+measured for wall-clock, sim-time throughput, bus event rate, and peak
+RSS, with baseline comparison for regression gating.
 """
 
+from .bench import (BenchReport, BenchResult, compare_reports, run_bench,
+                    run_scenario)
 from .bus import EventBus
+from .check import (ERROR, INFO, SEVERITIES, WARNING, Checker, CheckReport,
+                    InvariantMonitor, Violation, check_trace,
+                    stock_checkers)
 from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      ChunkDownloaded, ChunkRequested,
                      CwndRestarted, DeadlineArmed, DeadlineDisarmed,
@@ -48,23 +60,28 @@ from .trace_export import (Trace, TraceMeta, TraceRecorder,
                            replay)
 
 __all__ = [
-    "EVENT_TYPES", "RADIO_ACTIVE", "RADIO_IDLE", "RADIO_TAIL",
+    "ERROR", "EVENT_TYPES", "INFO", "RADIO_ACTIVE", "RADIO_IDLE",
+    "RADIO_TAIL", "SEVERITIES", "WARNING",
+    "BenchReport", "BenchResult", "CheckReport", "Checker",
     "ChunkDownloaded", "ChunkRequested", "Counter", "CwndRestarted",
     "DeadlineArmed", "DeadlineDisarmed", "DeadlineExtended",
     "DeadlineMissed", "EventBus", "Gauge", "Histogram", "HttpRequestSent",
-    "HttpResponseReceived", "MetricsRegistry", "MpDashArmed",
-    "MpDashSkipped", "PacketSent", "PathSampled", "PathSampler",
-    "PathStateRequested", "PlaybackEnded", "PlaybackStarted",
-    "ProfiledBus", "Profiler", "QualitySwitched", "RadioStateChange",
-    "SchedulerActivated", "SessionClosed", "SessionMetricsCollector",
-    "Span", "SpanBuilder", "StallEnd", "StallStart", "SubflowReconnected",
-    "SubflowStateChange", "SweepCompleted", "SweepRunFailed",
-    "SweepRunFinished", "SweepRunStarted", "SweepStarted", "Timeseries",
-    "Trace", "TraceEvent", "TraceMeta", "TraceRecorder",
-    "TransferCompleted", "TransferStarted", "analyzer_from_trace",
-    "collector_from_trace", "dump_chrome_trace", "dump_jsonl",
-    "dumps_jsonl", "event_from_dict", "event_to_dict",
-    "exponential_buckets", "linear_buckets", "load_jsonl", "loads_jsonl",
-    "metrics_from_trace", "registry_from_trace", "render_span_tree",
-    "replay", "spans_from_trace", "to_chrome_trace",
+    "HttpResponseReceived", "InvariantMonitor", "MetricsRegistry",
+    "MpDashArmed", "MpDashSkipped", "PacketSent", "PathSampled",
+    "PathSampler", "PathStateRequested", "PlaybackEnded",
+    "PlaybackStarted", "ProfiledBus", "Profiler", "QualitySwitched",
+    "RadioStateChange", "SchedulerActivated", "SessionClosed",
+    "SessionMetricsCollector", "Span", "SpanBuilder", "StallEnd",
+    "StallStart", "SubflowReconnected", "SubflowStateChange",
+    "SweepCompleted", "SweepRunFailed", "SweepRunFinished",
+    "SweepRunStarted", "SweepStarted", "Timeseries", "Trace",
+    "TraceEvent", "TraceMeta", "TraceRecorder", "TransferCompleted",
+    "TransferStarted", "Violation", "analyzer_from_trace",
+    "check_trace", "collector_from_trace", "compare_reports",
+    "dump_chrome_trace", "dump_jsonl", "dumps_jsonl", "event_from_dict",
+    "event_to_dict", "exponential_buckets", "linear_buckets",
+    "load_jsonl", "loads_jsonl", "metrics_from_trace",
+    "registry_from_trace", "render_span_tree", "replay", "run_bench",
+    "run_scenario", "spans_from_trace", "stock_checkers",
+    "to_chrome_trace",
 ]

@@ -12,6 +12,14 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
     def test_stream_defaults(self):
         args = build_parser().parse_args(["stream"])
         assert args.video == "big_buck_bunny"
@@ -53,23 +61,27 @@ class TestCommands:
     def test_stream_runs_short_session(self, capsys):
         assert main(["stream", "--abr", "gpac", "--duration", "60",
                      "--wifi", "8", "--lte", "8", "--mpdash"]) == 0
-        out = capsys.readouterr().out
-        assert "cellular MB" in out
-        assert "stalls" in out
+        captured = capsys.readouterr()
+        # Human tables ride stderr; stdout stays machine-parseable.
+        assert "cellular MB" in captured.err
+        assert "stalls" in captured.err
+        assert captured.out == ""
 
     def test_stream_visualize(self, capsys):
         assert main(["stream", "--abr", "gpac", "--duration", "60",
                      "--wifi", "8", "--lte", "8", "--visualize"]) == 0
-        out = capsys.readouterr().out
-        assert "levels:" in out  # the chunk-strip legend
+        captured = capsys.readouterr()
+        assert "levels:" in captured.err  # the chunk-strip legend
+        assert captured.out == ""
 
     def test_compare_runs(self, capsys):
         assert main(["compare", "--abr", "gpac", "--duration", "60",
                      "--wifi", "6", "--lte", "4"]) == 0
-        out = capsys.readouterr().out
-        assert "baseline" in out
-        assert "rate" in out
-        assert "cell saved" in out
+        captured = capsys.readouterr()
+        assert "baseline" in captured.err
+        assert "rate" in captured.err
+        assert "cell saved" in captured.err
+        assert captured.out == ""
 
 
 class TestSweep:
@@ -89,9 +101,26 @@ class TestSweep:
         assert main(["sweep", "--abr", "gpac", "--duration", "20",
                      "--wifi", "8", "--lte", "8",
                      "--schemes", "baseline,rate"]) == 0
-        out = capsys.readouterr().out
-        assert "2 runs" in out
-        assert "status" in out
+        captured = capsys.readouterr()
+        assert "2 runs" in captured.err
+        assert "status" in captured.err
+        assert captured.out == ""
+
+    def test_sweep_table_reports_violations(self, capsys):
+        assert main(["sweep", "--abr", "gpac", "--duration", "20",
+                     "--wifi", "8", "--lte", "8",
+                     "--schemes", "baseline,rate"]) == 0
+        err = capsys.readouterr().err
+        assert "viol" in err  # column header from the checked runs
+
+    def test_sweep_json_carries_violation_counts(self, capsys):
+        assert main(["sweep", "--abr", "gpac", "--duration", "20",
+                     "--wifi", "8", "--lte", "8",
+                     "--grid", "wifi_mbps=6,8", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        for run in report["runs"]:
+            # Checked and clean: present, empty.
+            assert run["summary"]["violations"] == {}
 
     def test_sweep_cache_rerun_hits(self, tmp_path, capsys):
         argv = ["sweep", "--abr", "gpac", "--duration", "20",
@@ -255,15 +284,16 @@ class TestProfile:
 
 
 class TestStderrRouting:
-    def test_sweep_progress_not_on_stdout(self, capsys):
+    def test_sweep_progress_and_table_not_on_stdout(self, capsys):
         assert main(["sweep", "--abr", "gpac", "--duration", "20",
                      "--wifi", "8", "--lte", "8",
                      "--grid", "wifi_mbps=6,8"]) == 0
         captured = capsys.readouterr()
-        # Per-run progress lines go to stderr; stdout carries the table.
+        # Progress lines and the human table both ride stderr; stdout is
+        # reserved for --json.
         assert "run 1/2" in captured.err
-        assert "run 1/2" not in captured.out
-        assert "2 runs" in captured.out
+        assert "2 runs" in captured.err
+        assert captured.out == ""
 
     def test_trace_out_note_not_on_stdout(self, tmp_path, capsys):
         path = str(tmp_path / "run.jsonl")
@@ -272,3 +302,121 @@ class TestStderrRouting:
         captured = capsys.readouterr()
         json.loads(captured.out)
         assert "trace written to" in captured.err
+
+
+class TestCheck:
+    def test_live_clean_session_exits_0(self, capsys):
+        assert main(["check"] + SESSION_ARGS) == 0
+        captured = capsys.readouterr()
+        assert "all invariants hold" in captured.out
+        assert "13 checkers" in captured.out
+
+    def test_json_report_on_stdout(self, capsys):
+        assert main(["check"] + SESSION_ARGS + ["--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["violations"] == []
+        assert report["counts"] == {"info": 0, "warning": 0, "error": 0}
+        assert len(report["checkers"]) == 13
+
+    def test_offline_equals_live(self, tmp_path, capsys):
+        assert main(["check"] + SESSION_ARGS + ["--json"]) == 0
+        live = json.loads(capsys.readouterr().out)
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace"] + SESSION_ARGS + ["--out", path]) == 0
+        capsys.readouterr()
+        assert main(["check", "--load", path, "--json"]) == 0
+        captured = capsys.readouterr()
+        assert "checked" in captured.err  # offline note rides stderr
+        offline = json.loads(captured.out)
+        assert offline == live
+
+    def test_error_violation_exits_1(self, tmp_path, capsys):
+        from repro.core.scheduler import DeadlineAwareScheduler
+
+        orig = DeadlineAwareScheduler.on_transfer_start
+
+        def faulty(scheduler, now, transfer, conn):
+            orig(scheduler, now, transfer, conn)
+            if scheduler.active:
+                for name in conn.path_names():
+                    conn.request_path_state(name, False)
+
+        path = str(tmp_path / "faulty.jsonl")
+        DeadlineAwareScheduler.on_transfer_start = faulty
+        try:
+            assert main(["trace"] + SESSION_ARGS + ["--out", path]) == 0
+        finally:
+            DeadlineAwareScheduler.on_transfer_start = orig
+        capsys.readouterr()
+        assert main(["check", "--load", path]) == 1
+        out = capsys.readouterr().out
+        assert "path-control" in out
+        assert "ERROR" in out
+
+    def test_budget_flags_are_applied(self, capsys):
+        # An impossible stall budget of 0% stays a warning -> exit 0.
+        assert main(["check"] + SESSION_ARGS +
+                    ["--max-stall-ratio", "0.0", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+
+    def test_load_error_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["check", "--load", missing]) == 2
+        captured = capsys.readouterr()
+        assert "cannot load" in captured.err
+        assert captured.out == ""
+
+
+class TestBench:
+    def test_bench_writes_report_and_renders(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_test.json")
+        assert main(["bench", "--scenarios", "single", "--label", "test",
+                     "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert "benchmark report written to" in captured.err
+        assert "single" in captured.err
+        assert captured.out == ""
+        report = json.loads(open(out).read())
+        assert report["label"] == "test"
+        assert report["results"][0]["scenario"] == "single"
+        assert report["results"][0]["wall_clock"] > 0
+
+    def test_bench_json_on_stdout(self, tmp_path, capsys):
+        assert main(["bench", "--scenarios", "single", "--out", "-",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["results"][0]["sim_per_wall"] > 0
+
+    def test_compare_clean_against_self(self, tmp_path, capsys):
+        out = str(tmp_path / "BENCH_a.json")
+        assert main(["bench", "--scenarios", "single", "--out", out]) == 0
+        capsys.readouterr()
+        assert main(["bench", "--load", out, "--compare", out]) == 0
+        assert "no regression" in capsys.readouterr().err
+
+    def test_compare_tightened_baseline_exits_nonzero(self, tmp_path,
+                                                      capsys):
+        out = str(tmp_path / "BENCH_a.json")
+        assert main(["bench", "--scenarios", "single", "--out", out]) == 0
+        payload = json.loads(open(out).read())
+        for entry in payload["results"]:
+            entry["wall_clock"] /= 10.0
+        tight = str(tmp_path / "BENCH_tight.json")
+        with open(tight, "w") as handle:
+            json.dump(payload, handle)
+        capsys.readouterr()
+        assert main(["bench", "--load", out, "--compare", tight]) == 1
+        err = capsys.readouterr().err
+        assert "PERFORMANCE REGRESSION" in err
+        assert "wall_clock" in err
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        assert main(["bench", "--scenarios", "warp"]) == 2
+        assert "unknown benchmark scenario" in capsys.readouterr().err
+
+    def test_load_error_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench", "--load", missing]) == 2
+        assert "cannot load" in capsys.readouterr().err

@@ -159,6 +159,61 @@ class TestObservabilityDeterminism:
             dumps_jsonl(b.events, b.trace_meta)
 
 
+class TestCheckerDeterminism:
+    """Invariant verdicts are a pure function of the event stream, like
+    every other derived view: checking the live bus and replaying the
+    exported JSONL trace must yield identical violations — including for
+    a faulty scheduler, so that a violation caught in production can be
+    reproduced exactly from its trace."""
+
+    def test_clean_run_offline_verdicts_equal_live(self):
+        from repro.obs import check_trace, dumps_jsonl, loads_jsonl
+
+        result = run_session(short_config(record_trace=True), check=True)
+        trace = loads_jsonl(dumps_jsonl(result.events, result.trace_meta))
+        offline = check_trace(trace)
+        assert result.check_report.violations == []
+        assert offline.events == result.check_report.events
+        assert [v.to_dict() for v in offline.violations] == []
+
+    def test_seeded_fault_offline_verdicts_equal_live(self):
+        from repro.core.scheduler import DeadlineAwareScheduler
+        from repro.obs import check_trace, dumps_jsonl, loads_jsonl
+
+        orig = DeadlineAwareScheduler.on_transfer_start
+
+        def faulty(scheduler, now, transfer, conn):
+            orig(scheduler, now, transfer, conn)
+            if scheduler.active:  # Algorithm 1 broken: everything off
+                for name in conn.path_names():
+                    conn.request_path_state(name, False)
+
+        DeadlineAwareScheduler.on_transfer_start = faulty
+        try:
+            result = run_session(short_config(record_trace=True),
+                                 check=True)
+        finally:
+            DeadlineAwareScheduler.on_transfer_start = orig
+        live = result.check_report
+        assert not live.ok
+        assert set(live.by_checker()) == {"path-control"}
+        trace = loads_jsonl(dumps_jsonl(result.events, result.trace_meta))
+        offline = check_trace(trace)
+        assert [v.to_dict() for v in offline.violations] == \
+            [v.to_dict() for v in live.violations]
+        assert offline.events == live.events
+
+    def test_checking_does_not_perturb_the_trace(self):
+        """The monitor only consumes events; the recorded stream with and
+        without checking must be byte-identical."""
+        from repro.obs import dumps_jsonl
+
+        a = run_session(short_config(record_trace=True), check=True)
+        b = run_session(short_config(record_trace=True))
+        assert dumps_jsonl(a.events, a.trace_meta) == \
+            dumps_jsonl(b.events, b.trace_meta)
+
+
 class TestObservabilityOverhead:
     def test_collectors_within_ten_percent_of_bare_bus(self):
         """Acceptance: metrics + spans subscribers cost <= 10% wall clock

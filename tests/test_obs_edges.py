@@ -1,0 +1,95 @@
+"""Edge cases for the derived observability views.
+
+The offline rebuilders (`registry_from_trace`, `spans_from_trace`) and
+the live `PathSampler` all have a degenerate regime — no events at all,
+or a session shorter than one sampling interval — that the end-to-end
+determinism tests never exercise.  These pin the behaviour there.
+"""
+
+import pytest
+
+from repro.mptcp.connection import MptcpConnection
+from repro.net.link import cellular_path, wifi_path
+from repro.net.simulator import Simulator
+from repro.obs import (SessionMetricsCollector, Trace, TraceMeta,
+                       collector_from_trace, loads_jsonl,
+                       registry_from_trace, spans_from_trace)
+from repro.obs.events import PathSampled
+from repro.obs.metrics import PathSampler
+
+
+def empty_trace(**meta):
+    defaults = dict(session_duration=0.0)
+    defaults.update(meta)
+    return Trace(meta=TraceMeta(**defaults), events=[])
+
+
+class TestEmptyTrace:
+    def test_empty_jsonl_text_is_rejected_by_the_loader(self):
+        """The loader refuses a headerless stream, which is why an empty
+        trace has to be constructed directly."""
+        with pytest.raises(ValueError, match="empty trace"):
+            loads_jsonl("")
+
+    def test_registry_from_empty_trace_is_empty(self):
+        registry = registry_from_trace(empty_trace())
+        assert len(registry) == 0
+        assert registry.to_dict() == {"metrics": []}
+
+    def test_registry_from_empty_trace_equals_idle_live_collector(self):
+        """Offline == live must hold even for the zero-event stream."""
+        live = SessionMetricsCollector()
+        assert registry_from_trace(empty_trace()).to_dict() == \
+            live.registry.to_dict()
+
+    def test_collector_from_empty_trace_takes_meta(self):
+        collector = collector_from_trace(
+            empty_trace(activity_bin=0.25, device="galaxy_s3"))
+        assert collector.activity_bin == 0.25
+        assert collector.device == "galaxy_s3"
+
+    def test_spans_from_empty_trace_is_empty(self):
+        assert spans_from_trace(empty_trace()) == []
+
+
+class TestPathSamplerShortSession:
+    def make(self):
+        sim = Simulator()
+        connection = MptcpConnection(sim, [wifi_path(bandwidth_mbps=4.0),
+                                           cellular_path(bandwidth_mbps=4.0)])
+        samples = []
+        sim.bus.subscribe(PathSampled, samples.append)
+        sampler = PathSampler(sim, connection)
+        return sim, sampler, samples
+
+    def test_sub_interval_session_emits_no_samples(self):
+        """`call_every` first fires at t=interval, so a session shorter
+        than one 1 Hz interval legitimately has zero PathSampled events
+        — consumers must not assume at least one sample per path."""
+        sim, _sampler, samples = self.make()
+        sim.run(until=0.5)
+        assert samples == []
+
+    def test_first_sample_lands_at_the_interval(self):
+        sim, _sampler, samples = self.make()
+        sim.run(until=1.5)
+        assert [s.time for s in samples] == [1.0, 1.0]
+        assert {s.path for s in samples} == {"wifi", "cellular"}
+
+    def test_stopped_sampler_emits_nothing_further(self):
+        sim, sampler, samples = self.make()
+        sim.run(until=1.5)
+        sampler.stop()
+        sim.run(until=5.0)
+        assert len(samples) == 2
+
+    def test_sub_interval_session_registry_has_no_sample_series(self):
+        """The derived registry built from such a stream simply lacks the
+        cwnd/RTT series rather than holding empty ones."""
+        sim = Simulator()
+        MptcpConnection(sim, [wifi_path(bandwidth_mbps=4.0),
+                              cellular_path(bandwidth_mbps=4.0)])
+        collector = SessionMetricsCollector(sim.bus)
+        sim.run(until=0.5)
+        assert collector.registry.get(
+            "repro_path_cwnd_bytes", {"path": "wifi"}) is None
