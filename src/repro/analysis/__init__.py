@@ -7,12 +7,15 @@ from .qoe import QoeScore, qoe_from_bitrates, qoe_of, session_qoe
 from .report import session_report
 from .metrics import (SessionMetrics, bitrate_reduction, compute_metrics,
                       path_utilization, savings)
-from .visualize import chunk_timeline, sparkline, throughput_plot
+from .visualize import (NUM_LEVELS, ChunkCell, chunk_cells, chunk_timeline,
+                        sparkline, throughput_plot)
 
 __all__ = [
-    "ChunkView", "IdleGap", "MultipathVideoAnalyzer", "QoeScore",
-    "SessionMetrics", "qoe_from_bitrates", "qoe_of", "session_qoe",
-    "bitrate_reduction", "chunk_timeline", "compute_metrics", "empirical_cdf",
-    "fraction_at_most", "path_utilization", "percentile", "quartile_summary",
-    "savings", "session_report", "sparkline", "throughput_plot",
+    "NUM_LEVELS",
+    "ChunkCell", "ChunkView", "IdleGap", "MultipathVideoAnalyzer",
+    "QoeScore", "SessionMetrics", "qoe_from_bitrates", "qoe_of",
+    "session_qoe", "bitrate_reduction", "chunk_cells", "chunk_timeline",
+    "compute_metrics", "empirical_cdf", "fraction_at_most",
+    "path_utilization", "percentile", "quartile_summary", "savings",
+    "session_report", "sparkline", "throughput_plot",
 ]

@@ -1,11 +1,16 @@
-"""Text renderings of the paper's figures.
+"""Renderings of the paper's figures: shared geometry + text output.
 
 The original analysis tool visualizes sessions graphically (Figure 8: one
 bar per chunk, bar height = size, width = download duration, color =
-quality level, black fill = cellular fraction).  These functions produce
-the terminal equivalents used by the benchmark harness:
+quality level, black fill = cellular fraction).  This module holds the
+shared **figure geometry** — :class:`ChunkCell` maps a
+:class:`~repro.analysis.analyzer.ChunkView` to level/height/fill once,
+so the terminal strip here and the SVG chunk strip in
+:mod:`repro.obs.report` cannot drift apart — plus the terminal
+renderings used by the benchmark harness:
 
-* :func:`chunk_timeline` — the Figure-8 chunk strip,
+* :func:`chunk_cells` — the Figure-8 geometry, one cell per chunk,
+* :func:`chunk_timeline` — the text Figure-8 chunk strip,
 * :func:`throughput_plot` — ASCII strip charts for the per-path throughput
   figures (1, 6, 11),
 * :func:`sparkline` — compact single-line series.
@@ -13,7 +18,8 @@ the terminal equivalents used by the benchmark harness:
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
 
 from .analyzer import ChunkView
 
@@ -21,9 +27,64 @@ from .analyzer import ChunkView
 _LEVEL_GLYPHS = "▁▂▄▆█"
 _SPARK_GLYPHS = " ▁▂▃▄▅▆▇█"
 
+#: Number of quality levels the figure geometry distinguishes; higher
+#: levels are clamped to the top band (matches the glyph strip).
+NUM_LEVELS = len(_LEVEL_GLYPHS)
 
-def _level_glyph(level: int) -> str:
-    return _LEVEL_GLYPHS[min(level, len(_LEVEL_GLYPHS) - 1)]
+
+@dataclass(frozen=True)
+class ChunkCell:
+    """One chunk of the Figure-8 strip, reduced to figure geometry.
+
+    Both renderers consume this: the text strip draws
+    ``glyph + marker``, the SVG strip draws a bar of
+    :attr:`height_fraction` over ``[start, end]`` with a dark overlay of
+    :attr:`cellular_fraction`.  ``level`` is already clamped to the
+    ``NUM_LEVELS`` bands.
+    """
+
+    index: int
+    level: int
+    tenths: int
+    start: float
+    end: float
+    size: float
+    cellular_fraction: float
+
+    @property
+    def glyph(self) -> str:
+        """Quality-level glyph for the text strip."""
+        return _LEVEL_GLYPHS[self.level]
+
+    @property
+    def marker(self) -> str:
+        """Cellular-share digit: ``.`` for none, tenths capped at 9."""
+        return "." if self.tenths == 0 else str(min(self.tenths, 9))
+
+    @property
+    def height_fraction(self) -> float:
+        """Bar height as a fraction of the plot, one band per level."""
+        return (self.level + 1) / NUM_LEVELS
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def chunk_cells(chunks: Sequence[ChunkView]) -> List[ChunkCell]:
+    """Map analyzer chunk views to Figure-8 cells (the shared geometry)."""
+    return [
+        ChunkCell(
+            index=chunk.index,
+            level=min(chunk.level, NUM_LEVELS - 1),
+            tenths=int(round(chunk.cellular_fraction * 10)),
+            start=chunk.start,
+            end=chunk.end,
+            size=chunk.size,
+            cellular_fraction=chunk.cellular_fraction,
+        )
+        for chunk in chunks
+    ]
 
 
 def chunk_timeline(chunks: Sequence[ChunkView], width: int = 100) -> str:
@@ -36,12 +97,8 @@ def chunk_timeline(chunks: Sequence[ChunkView], width: int = 100) -> str:
     """
     if width < 10:
         raise ValueError(f"width too small: {width!r}")
-    cells: List[str] = []
-    for chunk in chunks:
-        tenth = int(round(chunk.cellular_fraction * 10))
-        marker = "." if tenth == 0 else str(min(tenth, 9))
-        cells.append(_level_glyph(chunk.level) + marker)
-    lines = []
+    cells = [cell.glyph + cell.marker for cell in chunk_cells(chunks)]
+    lines: List[str] = []
     per_line = max(1, width // 2)
     for i in range(0, len(cells), per_line):
         lines.append("".join(cells[i:i + per_line]))
@@ -51,14 +108,15 @@ def chunk_timeline(chunks: Sequence[ChunkView], width: int = 100) -> str:
     return "\n".join(lines + [legend])
 
 
-def sparkline(values: Sequence[float], maximum: float = None) -> str:
+def sparkline(values: Sequence[float],
+              maximum: Optional[float] = None) -> str:
     """One-line bar chart of a non-negative series."""
     if not values:
         return ""
     peak = maximum if maximum is not None else max(values)
     if peak <= 0:
         return " " * len(values)
-    glyphs = []
+    glyphs: List[str] = []
     for value in values:
         idx = int(round(min(value, peak) / peak * (len(_SPARK_GLYPHS) - 1)))
         glyphs.append(_SPARK_GLYPHS[idx])
@@ -77,9 +135,9 @@ def throughput_plot(series: Sequence[Tuple[str, Sequence[float]]],
     """
     if width < 10:
         raise ValueError(f"width too small: {width!r}")
-    rows = []
+    rows: List[str] = []
     peak = max((max(values) if len(values) else 0.0)
-               for _, values in series)
+               for _, values in series) if series else 0.0
     for label, values in series:
         values = list(values)
         if len(values) > width:

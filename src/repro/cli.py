@@ -16,6 +16,10 @@ equivalent entry point, plus runners for the common experiments::
     python -m repro check --mpdash --json
     python -m repro check --load run.jsonl
     python -m repro bench --label ci --compare BENCH_main.json
+    python -m repro report --mpdash --out report.html
+    python -m repro report --load run.jsonl --out report.html
+    python -m repro sweep --schemes baseline,rate --live --report sweep.html
+    python -m repro bench --load BENCH_ci.json --html bench.html
     python -m repro locations
     python -m repro videos
 
@@ -41,11 +45,12 @@ from .experiments import (BASELINE, DURATION, FileDownloadConfig, RATE,
                           SessionConfig, expand_grid, run_file_download,
                           run_schemes, run_session, run_sweep)
 from .experiments.tables import format_table, pct, sweep_table
-from .obs import (BenchReport, EventBus, SweepRunFailed, SweepRunFinished,
-                  Trace, check_trace, compare_reports, dump_chrome_trace,
-                  dump_jsonl, load_jsonl, metrics_from_trace,
-                  registry_from_trace, render_span_tree, run_bench,
-                  spans_from_trace, stock_checkers)
+from .obs import (BenchReport, EventBus, SweepDashboard, SweepRunFailed,
+                  SweepRunFinished, Trace, bench_report_html, check_trace,
+                  compare_reports, dump_chrome_trace, dump_jsonl,
+                  load_jsonl, metrics_from_trace, registry_from_trace,
+                  render_span_tree, run_bench, session_report_html,
+                  spans_from_trace, stock_checkers, write_report)
 from .obs.spans import spans_to_dicts
 from .workloads import VIDEO_LADDERS, field_study_locations, video_names
 
@@ -119,6 +124,21 @@ def build_parser() -> argparse.ArgumentParser:
                             "failure")
     sweep.add_argument("--json", action="store_true",
                        help="machine-readable report instead of a table")
+    sweep.add_argument("--live", action="store_true",
+                       help="in-place terminal dashboard on stderr while "
+                            "the sweep runs (auto-disabled when not a TTY)")
+    sweep.add_argument("--report", metavar="FILE", default=None,
+                       help="write the self-contained HTML sweep report "
+                            "to FILE")
+    sweep.add_argument("--bench", action="append", default=[],
+                       metavar="BENCH.json",
+                       help="BENCH_*.json report(s) to chart in the sweep "
+                            "report's performance panel; repeatable, in "
+                            "trajectory order")
+    sweep.add_argument("--bench-baseline", metavar="BENCH.json",
+                       default=None,
+                       help="baseline BENCH_*.json the report compares "
+                            "the latest --bench report against")
 
     download = commands.add_parser(
         "download", help="one deadline-bounded file download")
@@ -229,6 +249,20 @@ def build_parser() -> argparse.ArgumentParser:
                             "a comparison counts as a regression")
     bench.add_argument("--json", action="store_true",
                        help="report as JSON instead of the table")
+    bench.add_argument("--html", metavar="FILE", default=None,
+                       help="also render the report (and the --compare "
+                            "verdict, when given) as a self-contained "
+                            "HTML page")
+
+    report = commands.add_parser(
+        "report", help="self-contained HTML session report (live run or "
+                       "an exported JSONL trace)")
+    _add_session_args(report)
+    report.add_argument("--load", metavar="FILE",
+                        help="render an exported JSONL trace offline "
+                             "instead of running a session")
+    report.add_argument("--out", metavar="FILE", default="report.html",
+                        help="output path (default: report.html)")
 
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
@@ -390,9 +424,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
 
     bus = EventBus()
-    if not args.json:
+    dashboard = None
+    if args.live:
+        dashboard = SweepDashboard()
+        dashboard.attach(bus)
+    if not args.json and (dashboard is None or not dashboard.enabled):
         # Progress goes to stderr so stdout carries only the final table
-        # (or, with --json, only the JSON document).
+        # (or, with --json, only the JSON document).  The line-per-run
+        # feed yields to the in-place dashboard when --live is active.
         total = len(configs)
         bus.subscribe(SweepRunFinished, lambda e: print(
             f"[{e.time:8.2f}s] run {e.index + 1}/{total} {e.key[:12]} "
@@ -408,6 +447,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         print(json.dumps(_sweep_report(result), sort_keys=True))
     else:
         print(sweep_table(result), file=sys.stderr)
+    if args.report is not None:
+        bench_reports = []
+        for path in args.bench:
+            try:
+                bench_reports.append(BenchReport.load(path))
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"repro sweep: cannot load bench report {path}: "
+                      f"{exc}", file=sys.stderr)
+                return 2
+        baseline = None
+        if args.bench_baseline is not None:
+            try:
+                baseline = BenchReport.load(args.bench_baseline)
+            except (OSError, ValueError, KeyError) as exc:
+                print(f"repro sweep: cannot load bench baseline "
+                      f"{args.bench_baseline}: {exc}", file=sys.stderr)
+                return 2
+        result.export_report(args.report, bench_reports=bench_reports,
+                             baseline=baseline)
+        print(f"sweep report written to {args.report}", file=sys.stderr)
     # Failures are data, not harness errors: the sweep completed.
     return 0
 
@@ -656,6 +715,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(report.render(), file=sys.stderr)
 
+    baseline = None
     if args.compare is not None:
         try:
             baseline = BenchReport.load(args.compare)
@@ -663,6 +723,12 @@ def cmd_bench(args: argparse.Namespace) -> int:
             print(f"repro bench: cannot load baseline {args.compare}: "
                   f"{exc}", file=sys.stderr)
             return 2
+    if args.html is not None:
+        write_report(args.html, bench_report_html(
+            [report], baseline=baseline, threshold=args.threshold))
+        print(f"bench HTML report written to {args.html}",
+              file=sys.stderr)
+    if baseline is not None:
         regressions = compare_reports(report, baseline,
                                       threshold=args.threshold)
         if regressions:
@@ -673,6 +739,33 @@ def cmd_bench(args: argparse.Namespace) -> int:
             return 1
         print(f"no regression vs {args.compare} "
               f"(threshold {args.threshold:.0%})", file=sys.stderr)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML session report.
+
+    With ``--load`` the report is a pure function of the JSONL trace —
+    byte-identical to the one a live ``run_session(report=...)`` writes
+    for the same session.  Without it, one session is run (recording a
+    trace, the metrics registry, and spans) and rendered directly.
+    """
+    if args.load is not None:
+        try:
+            trace = load_jsonl(args.load)
+        except (OSError, ValueError) as exc:
+            print(f"repro report: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
+            return 1
+        write_report(args.out, session_report_html(trace))
+        print(f"session report written to {args.out} "
+              f"(from {args.load}, {len(trace.events)} events)",
+              file=sys.stderr)
+    else:
+        run_session(_session_config(args, collect_metrics=True,
+                                    collect_spans=True),
+                    report=args.out)
+        print(f"session report written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -707,6 +800,7 @@ _COMMANDS = {
     "profile": cmd_profile,
     "check": cmd_check,
     "bench": cmd_bench,
+    "report": cmd_report,
     "locations": cmd_locations,
     "videos": cmd_videos,
 }

@@ -121,7 +121,8 @@ def _build_paths(config) -> list:
 
 def run_session(config: SessionConfig, profile: bool = False,
                 check: bool = False,
-                checkers: Optional[List[Checker]] = None) -> SessionResult:
+                checkers: Optional[List[Checker]] = None,
+                report: Optional[str] = None) -> SessionResult:
     """Simulate one streaming session to completion (or the time cap).
 
     ``profile=True`` swaps in a :class:`~repro.obs.profile.ProfiledBus`
@@ -129,12 +130,17 @@ def run_session(config: SessionConfig, profile: bool = False,
     than a config field because it changes what is *measured about* the
     run, never the run itself (sweep cache keys must not depend on it).
     ``check=True`` attaches an :class:`~repro.obs.check.InvariantMonitor`
-    (the stock battery, or ``checkers``) on the same terms.
+    (the stock battery, or ``checkers``) on the same terms.  ``report``
+    names an HTML file to render via
+    :func:`~repro.obs.report.session_report_html` when the session ends;
+    it implies trace recording and, being a pure function of the trace,
+    produces the same bytes as rendering offline from the exported JSONL.
     """
     profiler = Profiler() if profile else None
     sim = Simulator(bus=ProfiledBus(profiler) if profile else None)
     sim.profiler = profiler
-    recorder = TraceRecorder(sim.bus) if config.record_trace else None
+    record = config.record_trace or report is not None
+    recorder = TraceRecorder(sim.bus) if record else None
     monitor = None
     if check or checkers is not None:
         monitor = InvariantMonitor(checkers, bus=sim.bus)
@@ -189,18 +195,26 @@ def run_session(config: SessionConfig, profile: bool = False,
     analyzer = MultipathVideoAnalyzer(connection.activity, player.log,
                                       session_duration, device)
     metrics = analyzer.metrics(config.steady_state_fraction)
-    return SessionResult(config=config, metrics=metrics, analyzer=analyzer,
-                         finished=player.finished,
-                         session_duration=session_duration,
-                         connection=connection, player=player,
-                         socket=socket, adapter=adapter,
-                         events=recorder.events if recorder else None,
-                         metrics_registry=(collector.registry
-                                           if collector else None),
-                         spans=span_builder.spans if span_builder else None,
-                         profile=profiler,
-                         check_report=(monitor.report() if monitor
-                                       else None))
+    result = SessionResult(config=config, metrics=metrics,
+                           analyzer=analyzer,
+                           finished=player.finished,
+                           session_duration=session_duration,
+                           connection=connection, player=player,
+                           socket=socket, adapter=adapter,
+                           events=recorder.events if recorder else None,
+                           metrics_registry=(collector.registry
+                                             if collector else None),
+                           spans=(span_builder.spans if span_builder
+                                  else None),
+                           profile=profiler,
+                           check_report=(monitor.report() if monitor
+                                         else None))
+    if report is not None:
+        from ..obs.report import session_report_html, write_report
+        from ..obs.trace_export import Trace
+        write_report(report, session_report_html(
+            Trace(meta=result.trace_meta, events=result.events or [])))
+    return result
 
 
 @dataclass

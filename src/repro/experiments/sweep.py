@@ -47,7 +47,7 @@ from ..analysis.metrics import SessionMetrics
 from ..net.trace import BandwidthTrace
 from ..obs.bus import EventBus
 from ..obs.events import (SweepCompleted, SweepRunFailed, SweepRunFinished,
-                          SweepRunStarted, SweepStarted)
+                          SweepRunStarted, SweepRunSummarized, SweepStarted)
 from .configs import FileDownloadConfig, SessionConfig
 from .runner import (FileDownloadResult, SessionResult, run_file_download,
                      run_session)
@@ -440,6 +440,22 @@ class SweepResult:
         """True when every run produced a summary."""
         return all(run.ok for run in self.runs)
 
+    def export_report(self, path: str, bench_reports: Sequence[Any] = (),
+                      baseline: Optional[Any] = None,
+                      threshold: float = 0.25) -> None:
+        """Write the self-contained HTML sweep report to ``path``.
+
+        ``bench_reports`` are loaded
+        :class:`~repro.obs.bench.BenchReport` objects (oldest first) for
+        the trajectory panel; ``baseline`` additionally gates the newest
+        one with :func:`~repro.obs.bench.compare_reports`.
+        """
+        from ..obs.report import sweep_report_html, write_report
+
+        write_report(path, sweep_report_html(
+            self, bench_reports=bench_reports, baseline=baseline,
+            threshold=threshold))
+
 
 def merged_histograms(result: SweepResult) -> Dict[str, Any]:
     """Fold every run's histograms into one distribution per name.
@@ -467,6 +483,25 @@ def merged_histograms(result: SweepResult) -> Dict[str, Any]:
 # ----------------------------------------------------------------------
 # The engine
 # ----------------------------------------------------------------------
+def _publish_summarized(bus: EventBus, clock: Callable[[], float],
+                        run: SweepRun) -> None:
+    """Headline QoE telemetry for live consumers (the dashboard).
+
+    Only session summaries have one; download-only summaries are silent.
+    """
+    summary = run.summary
+    metrics = getattr(summary, "metrics", None)
+    if metrics is None:
+        return
+    violations = getattr(summary, "violations", None)
+    bus.publish(SweepRunSummarized(
+        clock(), run.config_key, run.index,
+        bool(getattr(summary, "finished", True)),
+        metrics.mean_bitrate, metrics.stall_count,
+        metrics.cellular_bytes, metrics.radio_energy,
+        sum(violations.values()) if violations else 0))
+
+
 def _settle(run: SweepRun, outcome: tuple, retries: int, cache:
             Optional[ResultCache], bus: EventBus,
             clock: Callable[[], float]) -> bool:
@@ -479,6 +514,7 @@ def _settle(run: SweepRun, outcome: tuple, retries: int, cache:
             cache.store(run.config_key, payload)
         bus.publish(SweepRunFinished(clock(), run.config_key, run.index,
                                      elapsed, False))
+        _publish_summarized(bus, clock, run)
         return True
     if run.attempts <= retries:
         return False
@@ -591,6 +627,7 @@ def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
             run.cached = True
             bus.publish(SweepRunFinished(clock(), run.config_key, run.index,
                                          0.0, True))
+            _publish_summarized(bus, clock, run)
         else:
             pending.append(run)
 

@@ -26,6 +26,13 @@ reconstructible offline from a trace:
 :mod:`repro.obs.bench` is the performance counterpart: pinned scenarios
 measured for wall-clock, sim-time throughput, bus event rate, and peak
 RSS, with baseline comparison for regression gating.
+
+The presentation layer sits on top of the derived views:
+:mod:`repro.obs.svg` is a dependency-free SVG chart renderer,
+:mod:`repro.obs.report` turns traces, sweep results, and bench reports
+into self-contained single-file HTML documents (pure functions of their
+inputs — live and offline rendering are byte-identical), and
+:mod:`repro.obs.live` draws a live terminal dashboard during sweeps.
 """
 
 from .bench import (BenchReport, BenchResult, compare_reports, run_bench,
@@ -44,14 +51,17 @@ from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      RadioStateChange, SchedulerActivated, SessionClosed,
                      StallEnd, StallStart, SubflowReconnected,
                      SubflowStateChange, SweepCompleted, SweepRunFailed,
-                     SweepRunFinished, SweepRunStarted, SweepStarted,
-                     TraceEvent, TransferCompleted, TransferStarted,
-                     event_from_dict, event_to_dict)
+                     SweepRunFinished, SweepRunStarted, SweepRunSummarized,
+                     SweepStarted, TraceEvent, TransferCompleted,
+                     TransferStarted, event_from_dict, event_to_dict)
+from .live import SweepDashboard
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       PathSampler, SessionMetricsCollector, Timeseries,
                       collector_from_trace, exponential_buckets,
                       linear_buckets, registry_from_trace)
 from .profile import ProfiledBus, Profiler
+from .report import (bench_report_html, session_report_html,
+                     sweep_report_html, write_report)
 from .spans import (Span, SpanBuilder, dump_chrome_trace, render_span_tree,
                     spans_from_trace, to_chrome_trace)
 from .trace_export import (Trace, TraceMeta, TraceRecorder,
@@ -73,15 +83,17 @@ __all__ = [
     "RadioStateChange", "SchedulerActivated", "SessionClosed",
     "SessionMetricsCollector", "Span", "SpanBuilder", "StallEnd",
     "StallStart", "SubflowReconnected", "SubflowStateChange",
-    "SweepCompleted", "SweepRunFailed", "SweepRunFinished",
-    "SweepRunStarted", "SweepStarted", "Timeseries", "Trace",
+    "SweepCompleted", "SweepDashboard", "SweepRunFailed",
+    "SweepRunFinished", "SweepRunStarted", "SweepRunSummarized",
+    "SweepStarted", "Timeseries", "Trace",
     "TraceEvent", "TraceMeta", "TraceRecorder", "TransferCompleted",
     "TransferStarted", "Violation", "analyzer_from_trace",
-    "check_trace", "collector_from_trace", "compare_reports",
-    "dump_chrome_trace", "dump_jsonl", "dumps_jsonl", "event_from_dict",
-    "event_to_dict", "exponential_buckets", "linear_buckets",
-    "load_jsonl", "loads_jsonl", "metrics_from_trace",
+    "bench_report_html", "check_trace", "collector_from_trace",
+    "compare_reports", "dump_chrome_trace", "dump_jsonl", "dumps_jsonl",
+    "event_from_dict", "event_to_dict", "exponential_buckets",
+    "linear_buckets", "load_jsonl", "loads_jsonl", "metrics_from_trace",
     "registry_from_trace", "render_span_tree", "replay", "run_bench",
-    "run_scenario", "spans_from_trace", "stock_checkers",
-    "to_chrome_trace",
+    "run_scenario", "session_report_html", "spans_from_trace",
+    "stock_checkers", "sweep_report_html", "to_chrome_trace",
+    "write_report",
 ]

@@ -304,6 +304,24 @@ class SweepRunFinished(TraceEvent):
 
 
 @dataclass(frozen=True, slots=True)
+class SweepRunSummarized(TraceEvent):
+    """Headline QoE figures of one finished session run, published right
+    after its :class:`SweepRunFinished` so live consumers (the terminal
+    dashboard) can show rolling aggregates without touching the result
+    objects.  Only published for full session runs — download-only
+    summaries carry no QoE."""
+
+    key: str
+    index: int
+    finished: bool
+    mean_bitrate: float
+    stall_count: int
+    cellular_bytes: float
+    radio_energy: float
+    violations: int
+
+
+@dataclass(frozen=True, slots=True)
 class SweepRunFailed(TraceEvent):
     """One run exhausted its retries; ``kind`` is ``error`` or ``timeout``."""
 
@@ -352,7 +370,8 @@ EVENT_TYPES: Dict[str, type] = {
         ChunkRequested, MpDashArmed, MpDashSkipped, ChunkDownloaded,
         QualitySwitched, PlaybackStarted, StallStart, StallEnd,
         PlaybackEnded, SessionClosed, RadioStateChange, SweepStarted,
-        SweepRunStarted, SweepRunFinished, SweepRunFailed, SweepCompleted,
+        SweepRunStarted, SweepRunFinished, SweepRunSummarized,
+        SweepRunFailed, SweepCompleted,
     )
 }
 

@@ -1,0 +1,181 @@
+"""Live terminal dashboard for parameter sweeps.
+
+:class:`SweepDashboard` subscribes to the ``Sweep*`` events the sweep
+engine already publishes and redraws a small plain-ANSI status block —
+per-worker progress, cache hits, failures, and rolling QoE aggregates
+from :class:`~repro.obs.events.SweepRunSummarized` — after every event
+(throttled by the sweep clock).
+
+Two contracts, both load-bearing:
+
+* **The machine-parseable stdout contract is never touched.**  The
+  dashboard draws exclusively on its ``stream`` (``sys.stderr`` by
+  default); summary/JSON payloads on stdout stay clean even mid-redraw.
+* **Zero overhead when disabled.**  When stdout or the stream is not a
+  TTY (CI, pipes), :meth:`attach` subscribes nothing at all — the bus
+  dispatch path is exactly as long as without a dashboard.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import IO, Dict, List, Optional
+
+from .bus import EventBus
+from .events import (SweepCompleted, SweepRunFailed, SweepRunFinished,
+                     SweepRunStarted, SweepRunSummarized, SweepStarted)
+
+#: Redraws are rate-limited to one per this many seconds of sweep-clock
+#: time, except for start/fail/complete which always draw.
+_MIN_INTERVAL = 0.2
+
+_BAR_WIDTH = 26
+
+
+class SweepDashboard:
+    """Rolling sweep status on a terminal, fed by the sweep's own bus.
+
+    Parameters
+    ----------
+    stream:
+        Where to draw; defaults to ``sys.stderr``.  Never stdout.
+    enabled:
+        Force on/off.  ``None`` (the default) auto-detects: the dashboard
+        only activates when **both** stdout and the draw stream are TTYs,
+        so redirecting either (CI logs, ``> sweep.json``) silently
+        disables it and the sweep behaves exactly as before.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 enabled: Optional[bool] = None) -> None:
+        self.stream: IO[str] = stream if stream is not None else sys.stderr
+        if enabled is None:
+            enabled = self._isatty(sys.stdout) and self._isatty(self.stream)
+        self.enabled = bool(enabled)
+        self.total = 0
+        self.jobs = 0
+        self.done = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.active: Dict[int, str] = {}  # run index -> config key
+        self.summarized = 0
+        self.bitrate_sum = 0.0
+        self.stalls = 0
+        self.cellular_bytes = 0.0
+        self.violations = 0
+        self._started_at = 0.0
+        self._last_draw = float("-inf")
+        self._drawn_lines = 0
+
+    @staticmethod
+    def _isatty(stream: object) -> bool:
+        isatty = getattr(stream, "isatty", None)
+        try:
+            return bool(isatty()) if callable(isatty) else False
+        except (ValueError, OSError):
+            return False
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe to the sweep events — or to nothing when disabled."""
+        if not self.enabled:
+            return
+        bus.subscribe(SweepStarted, self._on_started)
+        bus.subscribe(SweepRunStarted, self._on_run_started)
+        bus.subscribe(SweepRunFinished, self._on_run_finished)
+        bus.subscribe(SweepRunSummarized, self._on_run_summarized)
+        bus.subscribe(SweepRunFailed, self._on_run_failed)
+        bus.subscribe(SweepCompleted, self._on_completed)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_started(self, event: SweepStarted) -> None:
+        self.total = event.total
+        self.jobs = event.jobs
+        self._started_at = event.time
+        self._draw(event.time, force=True)
+
+    def _on_run_started(self, event: SweepRunStarted) -> None:
+        self.active[event.index] = event.key
+        self._draw(event.time)
+
+    def _on_run_finished(self, event: SweepRunFinished) -> None:
+        self.active.pop(event.index, None)
+        self.done += 1
+        if event.cached:
+            self.cache_hits += 1
+        self._draw(event.time)
+
+    def _on_run_summarized(self, event: SweepRunSummarized) -> None:
+        self.summarized += 1
+        self.bitrate_sum += event.mean_bitrate
+        self.stalls += event.stall_count
+        self.cellular_bytes += event.cellular_bytes
+        self.violations += event.violations
+        self._draw(event.time)
+
+    def _on_run_failed(self, event: SweepRunFailed) -> None:
+        self.active.pop(event.index, None)
+        self.done += 1
+        self.failed += 1
+        self._draw(event.time, force=True)
+
+    def _on_completed(self, event: SweepCompleted) -> None:
+        self.done = event.succeeded + event.failed
+        self.failed = event.failed
+        self.cache_hits = event.cache_hits
+        self.active.clear()
+        self._draw(event.time, force=True, final=True)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render_lines(self) -> List[str]:
+        """The current frame, as plain text lines (ANSI-free)."""
+        fraction = self.done / self.total if self.total else 0.0
+        filled = int(round(fraction * _BAR_WIDTH))
+        bar = "#" * filled + "." * (_BAR_WIDTH - filled)
+        lines = [
+            f"sweep [{bar}] {self.done}/{self.total} "
+            f"({fraction:.0%})  failed {self.failed}  "
+            f"cached {self.cache_hits}  workers {self.jobs}",
+        ]
+        if self.active:
+            shown = sorted(self.active)[:6]
+            runs = "  ".join(f"#{i}:{self.active[i][:8]}" for i in shown)
+            more = len(self.active) - len(shown)
+            lines.append(f"active {runs}" + (f"  (+{more})" if more else ""))
+        else:
+            lines.append("active -")
+        if self.summarized:
+            mean_mbps = (self.bitrate_sum / self.summarized) * 8.0 / 1e6
+            lines.append(
+                f"qoe    bitrate {mean_mbps:.2f} Mbit/s  "
+                f"stalls {self.stalls}  "
+                f"cellular {self.cellular_bytes / 1e6:.1f} MB  "
+                f"violations {self.violations}")
+        else:
+            lines.append("qoe    -")
+        return lines
+
+    def _draw(self, now: float, force: bool = False,
+              final: bool = False) -> None:
+        if not force and now - self._last_draw < _MIN_INTERVAL:
+            return
+        self._last_draw = now
+        lines = self.render_lines()
+        out: List[str] = []
+        if self._drawn_lines:
+            out.append(f"\x1b[{self._drawn_lines}F")  # up to first line
+        for line in lines:
+            out.append("\x1b[2K" + line + "\n")
+        if final:
+            self._drawn_lines = 0
+        else:
+            self._drawn_lines = len(lines)
+        try:
+            self.stream.write("".join(out))
+            self.stream.flush()
+        except (ValueError, OSError):
+            self.enabled = False  # stream closed mid-sweep; go quiet

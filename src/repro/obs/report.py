@@ -1,0 +1,775 @@
+"""Self-contained single-file HTML reports over the observability stack.
+
+One honest principle: a report is a **pure function of a trace**.
+:func:`session_report_html` consumes only a loaded
+:class:`~repro.obs.trace_export.Trace` and derives every panel through
+the same offline views the determinism tests pin (`analyzer_from_trace`,
+`registry_from_trace`, `check_trace`, `spans_from_trace`) — so rendering
+live at the end of ``run_session(report=...)`` and rendering later from
+the exported JSONL produce byte-identical files.  No wall clock, no
+randomness, no external references: the output is one HTML document with
+inline CSS and inline SVG, openable offline and diffable across runs.
+
+Three generators:
+
+* :func:`session_report_html` — the paper's figures for one session:
+  the Figure-8 chunk strip, per-path throughput/cwnd/RTT timelines,
+  buffer occupancy with stall shading, the deadline-slack distribution,
+  the radio-state/energy timeline, invariant verdicts, and span lanes.
+* :func:`sweep_report_html` — a whole
+  :class:`~repro.experiments.sweep.SweepResult`: run table, QoE
+  scheme-comparison grid, merged sweep-wide distributions, failures,
+  and (optionally) the benchmark panel.
+* :func:`bench_report_html` — standalone benchmark trajectories from
+  ``BENCH_*.json`` reports with baseline regression gating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from xml.sax.saxutils import escape
+
+from .bench import BenchReport, compare_reports
+from .check import ERROR, INFO, WARNING, CheckReport, check_trace
+from .events import StallEnd, StallStart
+from .metrics import Histogram, MetricsRegistry, registry_from_trace
+from .spans import STATUS_MISSED, Span, spans_from_trace
+from .svg import (LaneSegment, Series, StripCell, bar_chart, cdf_chart,
+                  flame_lanes, histogram_chart, legend_html, line_chart,
+                  series_class, strip_chart)
+from .trace_export import Trace, analyzer_from_trace
+
+# ----------------------------------------------------------------------
+# Stylesheet (inline; light and dark from the same document)
+# ----------------------------------------------------------------------
+_LIGHT_VARS = """\
+color-scheme:light;--surface-1:#fcfcfb;--page:#f9f9f7;--ink-1:#0b0b0b;
+--ink-2:#52514e;--ink-muted:#898781;--gridline:#e1e0d9;--baseline:#c3c2b7;
+--border:rgba(11,11,11,0.10);
+--series-1:#2a78d6;--series-2:#eb6834;--series-3:#1baf7a;--series-4:#eda100;
+--series-5:#e87ba4;--series-6:#008300;--series-7:#4a3aa7;--series-8:#e34948;
+--lvl-0:#86b6ef;--lvl-1:#5598e7;--lvl-2:#2a78d6;--lvl-3:#1c5cab;
+--lvl-4:#104281;
+--good:#0ca30c;--warning:#fab219;--serious:#ec835a;--critical:#d03b3b;"""
+
+_DARK_VARS = """\
+color-scheme:dark;--surface-1:#1a1a19;--page:#0d0d0d;--ink-1:#ffffff;
+--ink-2:#c3c2b7;--ink-muted:#898781;--gridline:#2c2c2a;--baseline:#383835;
+--border:rgba(255,255,255,0.10);
+--series-1:#3987e5;--series-2:#d95926;--series-3:#199e70;--series-4:#c98500;
+--series-5:#d55181;--series-6:#008300;--series-7:#9085e9;--series-8:#e66767;
+--lvl-0:#184f95;--lvl-1:#256abf;--lvl-2:#3987e5;--lvl-3:#6da7ec;
+--lvl-4:#9ec5f4;
+--good:#0ca30c;--warning:#fab219;--serious:#ec835a;--critical:#d03b3b;"""
+
+#: Every categorical slot sets ``--c``; marks read it.  The quality-level
+#: ramp (``lvl0``-``lvl4``) and the radio states reuse the mechanism.
+_SLOT_RULES = "".join(
+    [f".s{i}{{--c:var(--series-{i})}}" for i in range(1, 9)]
+    + [f".lvl{i}{{--c:var(--lvl-{i})}}" for i in range(5)]
+    + [".radio-active{--c:var(--series-1)}",
+       ".radio-tail{--c:var(--series-3)}",
+       ".radio-idle{--c:var(--gridline)}",
+       ".status-critical{--c:var(--critical)}"])
+
+_CSS = f"""
+body{{{_LIGHT_VARS}}}
+@media (prefers-color-scheme:dark){{
+:root:where(:not([data-theme="light"])) body{{{_DARK_VARS}}}}}
+:root[data-theme="dark"] body{{{_DARK_VARS}}}
+body{{margin:0;background:var(--page);color:var(--ink-1);
+font:14px/1.5 system-ui,-apple-system,"Segoe UI",sans-serif;}}
+main{{max-width:800px;margin:0 auto;padding:28px 16px 64px;}}
+h1{{font-size:20px;margin:0 0 2px;}}
+h2{{font-size:14px;margin:0 0 10px;color:var(--ink-1);}}
+section.panel{{background:var(--surface-1);border:1px solid var(--border);
+border-radius:8px;padding:16px;margin:16px 0;}}
+.tiles{{display:flex;flex-wrap:wrap;gap:10px 26px;margin:4px 0;}}
+.tile .v{{font-size:21px;font-weight:600;}}
+.tile .v small{{font-size:12px;font-weight:400;color:var(--ink-2);}}
+.tile .l{{font-size:11px;color:var(--ink-muted);}}
+.row{{display:flex;gap:16px;flex-wrap:wrap;align-items:flex-start;}}
+table{{border-collapse:collapse;width:100%;font-size:12.5px;
+font-variant-numeric:tabular-nums;}}
+th{{color:var(--ink-muted);text-align:left;font-weight:500;
+border-bottom:1px solid var(--baseline);padding:3px 8px;}}
+td{{border-bottom:1px solid var(--gridline);padding:3px 8px;
+vertical-align:top;}}
+.num{{text-align:right;}}th.num{{text-align:right;}}
+.legend{{display:flex;gap:14px;font-size:12px;color:var(--ink-2);
+margin:6px 0 2px;flex-wrap:wrap;}}
+.key{{display:inline-flex;align-items:center;gap:5px;}}
+.sw{{width:10px;height:10px;border-radius:2px;display:inline-block;
+background:var(--c,var(--ink-muted));}}
+svg.chart{{display:block;max-width:100%;height:auto;margin:6px 0;}}
+svg text{{font-family:system-ui,-apple-system,"Segoe UI",sans-serif;}}
+.grid{{stroke:var(--gridline);stroke-width:1;}}
+.axis{{stroke:var(--baseline);stroke-width:1;}}
+.tick{{fill:var(--ink-muted);font-size:10px;
+font-variant-numeric:tabular-nums;}}
+.axis-label{{fill:var(--ink-2);font-size:11px;}}
+.value{{fill:var(--ink-2);font-size:10px;
+font-variant-numeric:tabular-nums;}}
+.refline{{stroke:var(--ink-muted);stroke-width:1;stroke-dasharray:4 3;}}
+.line{{fill:none;stroke:var(--c,var(--ink-muted));stroke-width:2;
+stroke-linejoin:round;stroke-linecap:round;}}
+.dot{{fill:var(--c,var(--ink-muted));stroke:var(--surface-1);
+stroke-width:2;}}
+.fill{{fill:var(--c,var(--ink-muted));}}
+.area{{fill:var(--c,var(--ink-muted));opacity:.85;}}
+.shade{{fill:var(--serious);fill-opacity:.14;}}
+.sw.shade{{background:var(--serious);opacity:.35;}}
+.overlay{{fill:var(--ink-1);fill-opacity:.45;}}
+.sw.overlay{{background:var(--ink-1);opacity:.45;}}
+.badge{{display:inline-block;font-size:11px;line-height:1.5;
+padding:0 7px;border-radius:9px;color:#ffffff;}}
+.badge.critical{{background:var(--critical);}}
+.badge.warning{{background:var(--warning);color:#0b0b0b;}}
+.badge.good{{background:var(--good);}}
+.badge.info{{background:var(--ink-muted);}}
+.note{{color:var(--ink-muted);font-size:12.5px;margin:4px 0;}}
+.mono{{font-family:ui-monospace,SFMono-Regular,Menlo,monospace;
+font-size:11.5px;}}
+ul.flat{{margin:4px 0;padding-left:20px;font-size:12.5px;}}
+{_SLOT_RULES}
+"""
+
+
+# ----------------------------------------------------------------------
+# Document scaffolding
+# ----------------------------------------------------------------------
+def _document(title: str, subtitle: str, sections: Sequence[str]) -> str:
+    """The single self-contained document (XHTML-style well-formed)."""
+    return (
+        "<!DOCTYPE html>\n"
+        '<html lang="en"><head><meta charset="utf-8"/>'
+        f"<title>{escape(title)}</title>"
+        f"<style>{_CSS}</style></head><body><main>"
+        f"<h1>{escape(title)}</h1>"
+        f'<p class="note">{escape(subtitle)}</p>'
+        f'{"".join(sections)}'
+        '<p class="note">Generated by <span class="mono">repro report'
+        "</span> — a pure function of the trace; identical inputs render "
+        "identical bytes.</p>"
+        "</main></body></html>\n")
+
+
+def _panel(title: str, *body: str) -> str:
+    return (f'<section class="panel"><h2>{escape(title)}</h2>'
+            f'{"".join(body)}</section>')
+
+
+def _tiles(items: Sequence[Tuple[str, str, str]]) -> str:
+    """Stat tiles: (value, unit, label) triplets."""
+    tiles = "".join(
+        f'<div class="tile"><div class="v">{escape(value)}'
+        + (f"<small> {escape(unit)}</small>" if unit else "")
+        + f'</div><div class="l">{escape(label)}</div></div>'
+        for value, unit, label in items)
+    return f'<div class="tiles">{tiles}</div>'
+
+
+def _table(headers: Sequence[Tuple[str, bool]],
+           rows: Sequence[Sequence[str]]) -> str:
+    """Rows of pre-rendered (already escaped) cell HTML."""
+    head = "".join(f'<th class="num">{escape(text)}</th>' if numeric
+                   else f"<th>{escape(text)}</th>"
+                   for text, numeric in headers)
+    body = "".join(
+        "<tr>" + "".join(
+            f'<td class="num">{cell}</td>' if headers[i][1]
+            else f"<td>{cell}</td>"
+            for i, cell in enumerate(row)) + "</tr>"
+        for row in rows)
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{body}</tbody></table>")
+
+
+def _note(text: str) -> str:
+    return f'<p class="note">{escape(text)}</p>'
+
+
+def _downsample(points: Sequence[Tuple[float, float]],
+                limit: int = 360) -> List[Tuple[float, float]]:
+    """Max-pooling downsample: keep each stride's peak sample.
+
+    Peaks (not means) because throughput/cwnd spikes are the signal; the
+    kept points are real samples, so determinism is preserved.
+    """
+    if len(points) <= limit:
+        return list(points)
+    stride = -(-len(points) // limit)  # ceil
+    kept: List[Tuple[float, float]] = []
+    for start in range(0, len(points), stride):
+        group = points[start:start + stride]
+        kept.append(max(group, key=lambda p: p[1]))
+    return kept
+
+
+def _severity_badge(severity: str) -> str:
+    css = {ERROR: "critical", WARNING: "warning", INFO: "info"}.get(
+        severity, "info")
+    return f'<span class="badge {css}">{escape(severity)}</span>'
+
+
+# ----------------------------------------------------------------------
+# Session report panels
+# ----------------------------------------------------------------------
+def _overview_panel(trace: Trace, metrics: Any) -> str:
+    startup = ("-" if metrics.startup_delay is None
+               else f"{metrics.startup_delay:.2f}")
+    tiles = _tiles([
+        (f"{trace.meta.session_duration:.1f}", "s", "session"),
+        (f"{metrics.chunk_count}", "", "chunks"),
+        (f"{metrics.mean_bitrate_mbps:.2f}", "Mbit/s", "mean bitrate"),
+        (f"{metrics.quality_switches}", "", "quality switches"),
+        (f"{metrics.stall_count}", "", "stalls"),
+        (f"{metrics.total_stall_time:.2f}", "s", "stall time"),
+        (startup, "s", "startup delay"),
+        (f"{metrics.cellular_bytes / 1e6:.1f}", "MB", "cellular data"),
+        (f"{metrics.cellular_fraction:.1%}", "", "cellular share"),
+        (f"{metrics.radio_energy:.1f}", "J", "radio energy"),
+    ])
+    return _panel("Session overview", tiles)
+
+
+def _chunk_strip_panel(analyzer: Any) -> str:
+    from ..analysis.visualize import chunk_cells
+
+    cells = chunk_cells(analyzer.chunk_views())
+    if not cells:
+        return _panel("Chunk downloads (Figure 8)",
+                      _note("no chunks downloaded"))
+    strip = strip_chart(
+        [StripCell(
+            x0=cell.start, x1=cell.end, height=cell.height_fraction,
+            fill=cell.cellular_fraction, css=f"lvl{cell.level}",
+            label=(f"chunk {cell.index}: level {cell.level}, "
+                   f"{cell.size / 1e6:.2f} MB, "
+                   f"{cell.cellular_fraction:.0%} cellular, "
+                   f"{cell.start:.1f}-{cell.end:.1f}s"))
+         for cell in cells],
+        title="per-chunk quality, download window, and cellular share")
+    levels = sorted({cell.level for cell in cells})
+    legend = legend_html([(f"lvl{level}", f"level {level}")
+                          for level in levels]
+                         + [("overlay", "cellular share")])
+    return _panel(
+        "Chunk downloads (Figure 8)",
+        _note("bar height = quality level, width = download window, "
+              "dark fill = cellular byte share"),
+        strip, legend)
+
+
+def _path_panel(analyzer: Any, registry: MetricsRegistry,
+                duration: float) -> str:
+    paths = sorted(analyzer.activity.paths())
+    parts: List[str] = []
+    if paths:
+        series = []
+        for path in paths:
+            times, values = analyzer.throughput_timeline(path)
+            points = _downsample(
+                [(t, v * 8.0 / 1e6) for t, v in zip(times, values)])
+            series.append(Series(path, points))
+        parts.append(line_chart(series, x_label="time (s)",
+                                y_label="throughput (Mbit/s)",
+                                title="per-path delivered throughput"))
+        parts.append(legend_html([
+            (series_class(i), path) for i, path in enumerate(paths)]))
+    else:
+        parts.append(_note("no transport activity in this trace"))
+
+    sampled = [p for p in paths
+               if registry.get("repro_path_cwnd_bytes", {"path": p})]
+    if sampled:
+        cwnd_series, rtt_series = [], []
+        for path in sampled:
+            cwnd = registry.get("repro_path_cwnd_bytes", {"path": path})
+            rtt = registry.get("repro_path_rtt_seconds", {"path": path})
+            cwnd_series.append(Series(path, _downsample(
+                [(t, v / 1e3) for t, v in cwnd.samples])))
+            if rtt is not None:
+                rtt_series.append(Series(path, _downsample(
+                    [(t, v * 1e3) for t, v in rtt.samples])))
+        parts.append(
+            '<div class="row">'
+            + line_chart(cwnd_series, width=352, height=200,
+                         x_label="time (s)", y_label="cwnd (kB)",
+                         title="cwnd")
+            + line_chart(rtt_series, width=352, height=200,
+                         x_label="time (s)", y_label="RTT (ms)",
+                         y_min=None, title="RTT")
+            + "</div>")
+    else:
+        parts.append(_note(
+            "no PathSampled events in this trace (metrics collection was "
+            "off), so cwnd/RTT timelines are unavailable"))
+    return _panel("Path timelines", *parts)
+
+
+def _buffer_panel(trace: Trace, registry: MetricsRegistry,
+                  duration: float) -> str:
+    buffer = registry.get("repro_buffer_level_seconds")
+    samples = list(buffer.samples) if buffer is not None else []
+    stalls: List[Tuple[float, float]] = []
+    open_stall: Optional[float] = None
+    for event in trace.events:
+        if isinstance(event, StallStart):
+            open_stall = event.time
+        elif isinstance(event, StallEnd) and open_stall is not None:
+            stalls.append((open_stall, event.time))
+            open_stall = None
+    if open_stall is not None:
+        stalls.append((open_stall, duration))
+    if not samples:
+        return _panel("Buffer occupancy",
+                      _note("no chunk requests in this trace"))
+    chart = line_chart(
+        [Series("buffer level", samples)], step=True, x_label="time (s)",
+        y_label="buffer (s)",
+        shades=[(a, b, "shade") for a, b in stalls],
+        title="playback buffer occupancy with stall windows")
+    entries = [("s1", "buffer level")]
+    if stalls:
+        entries.append(("shade", f"stall ({len(stalls)})"))
+    return _panel("Buffer occupancy", chart, legend_html(entries))
+
+
+def _slack_panel(registry: MetricsRegistry) -> str:
+    histogram = registry.get("repro_deadline_slack_seconds")
+    if histogram is None or histogram.count == 0:
+        return _panel(
+            "Deadline slack",
+            _note("no deadline slack observations (MP-DASH deadlines "
+                  "were never armed in this trace)"))
+    payload = histogram.to_dict()
+    late = sum(count for bound, count
+               in zip(histogram.bounds, histogram.counts) if bound <= 0)
+    stats = _tiles([
+        (f"{histogram.count}", "", "deadlines"),
+        (f"{late}", "", "negative slack"),
+        (f"{histogram.quantile(0.5):.2f}", "s", "median slack"),
+        (f"{histogram.quantile(0.95):.2f}", "s", "p95 slack"),
+        (f"{histogram.min:.2f}", "s", "min"),
+        (f"{histogram.max:.2f}", "s", "max"),
+    ])
+    row = ('<div class="row">'
+           + histogram_chart(payload, x_label="slack (s)", refs=(0.0,),
+                             title="deadline slack distribution")
+           + cdf_chart(payload, x_label="slack (s)", refs=(0.0,),
+                       title="deadline slack CDF")
+           + "</div>")
+    return _panel(
+        "Deadline slack", stats, row,
+        _note("slack = deadline minus completion time; left of the "
+              "dashed line the deadline was missed"))
+
+
+def _radio_panel(analyzer: Any, metrics: Any, duration: float) -> str:
+    changes = analyzer.radio_timeline()
+    by_path: Dict[str, List[Any]] = {}
+    for change in changes:
+        by_path.setdefault(change.path, []).append(change)
+    lanes: List[Tuple[str, List[LaneSegment]]] = []
+    for path in sorted(by_path):
+        segments: List[LaneSegment] = []
+        state, since = "idle", 0.0
+        for change in by_path[path]:
+            if change.time > since:
+                segments.append(LaneSegment(
+                    since, change.time, f"radio-{state}",
+                    f"{state} {since:.1f}-{change.time:.1f}s"))
+            state, since = change.state, change.time
+        if duration > since:
+            segments.append(LaneSegment(
+                since, duration, f"radio-{state}",
+                f"{state} {since:.1f}-{duration:.1f}s"))
+        lanes.append((path, segments))
+    if not lanes:
+        return _panel("Radio states and energy",
+                      _note("no radio activity in this trace"))
+    chart = flame_lanes(lanes, x_label="time (s)", x_min=0.0,
+                        x_max=duration,
+                        title="radio power states per interface")
+    legend = legend_html([("radio-active", "active"),
+                          ("radio-tail", "tail"),
+                          ("radio-idle", "idle")])
+    energy = _tiles(
+        [(f"{value:.1f}", "J", f"{path} energy")
+         for path, value in sorted(metrics.energy_per_path.items())]
+        + [(f"{metrics.radio_energy:.1f}", "J", "total radio energy")])
+    return _panel("Radio states and energy", chart, legend, energy)
+
+
+def _violations_panel(report: CheckReport) -> str:
+    counts = report.by_severity()
+    summary = _note(
+        f"checked {report.events} events with {len(report.checkers)} "
+        f"checkers: {counts[ERROR]} error(s), {counts[WARNING]} "
+        f"warning(s), {counts[INFO]} info")
+    if not report.violations:
+        return _panel("Invariant verdicts", summary,
+                      '<p><span class="badge good">all invariants hold'
+                      "</span></p>")
+    rows = []
+    for violation in report.violations:
+        events = ",".join(str(i) for i in violation.events)
+        rows.append([
+            _severity_badge(violation.severity),
+            f"{violation.time:.3f}",
+            f'<span class="mono">{escape(violation.checker)}</span>',
+            escape(violation.message),
+            f'<span class="mono">{escape(events)}</span>'])
+    table = _table([("severity", False), ("t (s)", True),
+                    ("checker", False), ("message", False),
+                    ("events", False)], rows)
+    return _panel("Invariant verdicts", summary, table)
+
+
+#: Span kinds worth a lane, in causal order (the session root span is
+#: omitted — it would be one full-width bar).
+_SPAN_LANES = ("chunk", "request", "transfer", "deadline", "stall")
+
+
+def _spans_panel(spans: List[Span], duration: float) -> str:
+    if not spans:
+        return _panel("Causal spans", _note("no spans in this trace"))
+    lanes: List[Tuple[str, List[LaneSegment]]] = []
+    lane_css: Dict[str, str] = {}
+    for index, kind in enumerate(_SPAN_LANES):
+        members = [span for span in spans if span.kind == kind]
+        if not members:
+            continue
+        lane_css[kind] = series_class(index)
+        segments = []
+        for span in members:
+            end = span.end if span.end is not None else duration
+            css = ("status-critical" if span.status == STATUS_MISSED
+                   else lane_css[kind])
+            segments.append(LaneSegment(
+                span.start, end, css,
+                f"{span.name} {span.start:.2f}-{end:.2f}s"
+                f" [{span.status}]"))
+        lanes.append((kind, segments))
+    chart = flame_lanes(lanes, x_label="time (s)", x_min=0.0,
+                        x_max=duration, title="causal span lanes")
+    entries: List[Tuple[str, str]] = [
+        (lane_css[kind], kind) for kind, _ in lanes]
+    entries.append(("status-critical", "missed deadline"))
+    return _panel("Causal spans",
+                  _note(f"{len(spans)} spans; the life of each chunk "
+                        f"from request to delivery"),
+                  chart, legend_html(entries))
+
+
+def session_report_html(trace: Trace) -> str:
+    """Render one session's full report from its (loaded) trace.
+
+    A pure function: every panel is computed through the offline derived
+    views, so live rendering at session end and offline rendering from
+    the exported JSONL produce byte-identical documents.
+    """
+    if trace.meta.session_duration <= 0:
+        # Degenerate (empty) traces still render, with fallback panels;
+        # the analyzer needs a positive horizon.
+        trace = Trace(meta=replace(trace.meta, session_duration=1.0),
+                      events=trace.events)
+    analyzer = analyzer_from_trace(trace)
+    metrics = analyzer.metrics(trace.meta.steady_state_fraction)
+    registry = registry_from_trace(trace)
+    verdicts = check_trace(trace)
+    spans = spans_from_trace(trace)
+    duration = trace.meta.session_duration
+    subtitle = (f"device {trace.meta.device} | {len(trace.events)} events "
+                f"| {duration:.1f}s session | trace format v"
+                f"{trace.meta.version}")
+    return _document("MP-DASH session report", subtitle, [
+        _overview_panel(trace, metrics),
+        _chunk_strip_panel(analyzer),
+        _path_panel(analyzer, registry, duration),
+        _buffer_panel(trace, registry, duration),
+        _slack_panel(registry),
+        _radio_panel(analyzer, metrics, duration),
+        _violations_panel(verdicts),
+        _spans_panel(spans, duration),
+    ])
+
+
+# ----------------------------------------------------------------------
+# Sweep report
+# ----------------------------------------------------------------------
+def _scheme_name(config: Any) -> str:
+    mpdash = getattr(config, "mpdash", None)
+    if mpdash is False:
+        return "baseline"
+    if mpdash is True:
+        mode = getattr(config, "deadline_mode", None)
+        return f"mpdash-{mode}" if mode else "mpdash"
+    return type(config).__name__
+
+
+def _violation_text(violations: Optional[Mapping[str, int]]) -> str:
+    if violations is None:
+        return "-"
+    parts = [f"{violations[s]}{s[0].upper()}"
+             for s in (ERROR, WARNING, INFO) if violations.get(s)]
+    return "+".join(parts) if parts else "0"
+
+
+def _p95_slack(summary: Any) -> Optional[float]:
+    payload = getattr(summary, "histograms", {}).get(
+        "repro_deadline_slack_seconds")
+    if not payload or not payload.get("count"):
+        return None
+    return Histogram.from_dict(payload).quantile(0.95)
+
+
+def _sweep_runs_table(result: Any) -> str:
+    rows = []
+    for run in result.runs:
+        if run.failure is not None:
+            status = (f'<span class="badge critical">'
+                      f"{escape(run.failure.kind)}</span>")
+        elif run.cached:
+            status = '<span class="badge info">cached</span>'
+        else:
+            status = '<span class="badge good">ok</span>'
+        summary = run.summary
+        metrics = getattr(summary, "metrics", None)
+        if metrics is not None:
+            slack = _p95_slack(summary)
+            cells = [f"{metrics.cellular_bytes / 1e6:.1f}",
+                     f"{metrics.mean_bitrate_mbps:.2f}",
+                     f"{metrics.radio_energy:.0f}",
+                     f"{metrics.stall_count}",
+                     "-" if slack is None else f"{slack:.2f}",
+                     escape(_violation_text(
+                         getattr(summary, "violations", None)))]
+        elif summary is not None:  # download-only summary
+            cells = [f"{summary.cellular_bytes / 1e6:.1f}",
+                     "-", f"{summary.radio_energy:.0f}", "-", "-", "-"]
+        else:
+            cells = ["-"] * 6
+        rows.append([
+            f"{run.index}",
+            f'<span class="mono">{escape(run.config_key[:10])}</span>',
+            status, f"{run.elapsed:.2f}"] + cells)
+    return _table(
+        [("run", True), ("key", False), ("status", False),
+         ("time (s)", True), ("cell MB", True), ("Mbit/s", True),
+         ("energy J", True), ("stalls", True), ("p95 slack", True),
+         ("viol", True)], rows)
+
+
+def _scheme_panel(result: Any) -> str:
+    """Per-scheme QoE means: the paper's four-metric comparison."""
+    groups: Dict[str, List[Any]] = {}
+    for run in result.runs:
+        metrics = getattr(run.summary, "metrics", None)
+        if metrics is not None:
+            groups.setdefault(_scheme_name(run.config), []).append(metrics)
+    if not groups:
+        return _panel("Scheme comparison",
+                      _note("no session summaries to compare"))
+    schemes = sorted(groups)
+
+    def mean(values: List[float]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    def chart(label: str, fmt: str, pick: Any) -> str:
+        return bar_chart(schemes,
+                         [mean([pick(m) for m in groups[s]])
+                          for s in schemes],
+                         width=352, height=190, y_label=label,
+                         value_format=fmt, title=label)
+
+    counts = ", ".join(f"{scheme}: {len(groups[scheme])} run(s)"
+                       for scheme in schemes)
+    grid = ('<div class="row">'
+            + chart("cellular data (MB)", "{:.1f}",
+                    lambda m: m.cellular_bytes / 1e6)
+            + chart("mean bitrate (Mbit/s)", "{:.2f}",
+                    lambda m: m.mean_bitrate_mbps)
+            + chart("radio energy (J)", "{:.0f}",
+                    lambda m: m.radio_energy)
+            + chart("stalls", "{:.1f}", lambda m: float(m.stall_count))
+            + "</div>")
+    legend = legend_html([(series_class(i), scheme)
+                          for i, scheme in enumerate(schemes)])
+    return _panel("Scheme comparison", _note(f"means over {counts}"),
+                  legend, grid)
+
+
+def _merged_histogram_panel(result: Any) -> str:
+    from ..experiments.sweep import merged_histograms
+
+    merged = merged_histograms(result)
+    parts: List[str] = []
+    slack = merged.get("repro_deadline_slack_seconds")
+    if slack is not None and slack.count:
+        payload = slack.to_dict()
+        parts.append(_note(
+            f"deadline slack over {slack.count} deadlines across all "
+            f"runs (p95 = {slack.quantile(0.95):.2f}s)"))
+        parts.append('<div class="row">'
+                     + histogram_chart(payload, x_label="slack (s)",
+                                       refs=(0.0,),
+                                       title="sweep-wide slack")
+                     + cdf_chart(payload, x_label="slack (s)",
+                                 refs=(0.0,),
+                                 title="sweep-wide slack CDF")
+                     + "</div>")
+    download = merged.get("repro_chunk_download_seconds")
+    if download is not None and download.count:
+        parts.append(histogram_chart(
+            download.to_dict(), width=352, x_label="download time (s)",
+            css="s2", title="chunk download time"))
+    if not parts:
+        parts.append(_note(
+            "no histograms in the summaries (sweep the configs with "
+            "session metrics to aggregate distributions)"))
+    return _panel("Merged distributions", *parts)
+
+
+def _failures_panel(result: Any) -> Optional[str]:
+    failures = result.failures
+    if not failures:
+        return None
+    rows = [[f"{f.index}",
+             f'<span class="mono">{escape(f.config_key[:10])}</span>',
+             f'<span class="badge critical">{escape(f.kind)}</span>',
+             f"{f.attempts}", f"{f.elapsed:.2f}", escape(f.error)]
+            for f in failures]
+    return _panel("Failures", _table(
+        [("run", True), ("key", False), ("kind", False),
+         ("attempts", True), ("time (s)", True), ("error", False)], rows))
+
+
+#: Bench metric -> (axis label, scale) for the trajectory charts.
+_BENCH_METRICS = (
+    ("wall_clock", "wall clock (s)", 1.0),
+    ("sim_per_wall", "sim seconds per wall second", 1.0),
+    ("events_per_sec", "bus events per second", 1.0),
+    ("peak_rss_kb", "peak RSS (MB)", 1.0 / 1024.0),
+)
+
+
+def _bench_section(reports: Sequence[BenchReport],
+                   baseline: Optional[BenchReport],
+                   threshold: float) -> str:
+    reports = list(reports)
+    if not reports:
+        return _panel("Benchmarks", _note("no bench reports supplied"))
+    scenarios: List[str] = []
+    for report in reports:
+        for result in report.results:
+            if result.scenario not in scenarios:
+                scenarios.append(result.scenario)
+    x_ticks = [(float(i), report.label or str(i))
+               for i, report in enumerate(reports)]
+    charts: List[str] = []
+    for metric, label, scale in _BENCH_METRICS:
+        series = []
+        for scenario in scenarios:
+            points = []
+            for i, report in enumerate(reports):
+                result = report.result(scenario)
+                value = getattr(result, metric, None) if result else None
+                if value is not None:
+                    points.append((float(i), value * scale))
+            if points:
+                series.append(Series(scenario, points))
+        if series:
+            charts.append(line_chart(
+                series, width=352, height=190, y_label=label,
+                markers=True, x_ticks=x_ticks, title=label))
+    parts = [legend_html([(series_class(i), scenario)
+                          for i, scenario in enumerate(scenarios)]),
+             f'<div class="row">{"".join(charts)}</div>']
+    if baseline is not None:
+        regressions = compare_reports(reports[-1], baseline, threshold)
+        if regressions:
+            items = "".join(f"<li>{escape(r)}</li>" for r in regressions)
+            parts.append(
+                f'<p><span class="badge critical">'
+                f"{len(regressions)} regression(s) vs baseline "
+                f"{escape(baseline.label)}</span></p>"
+                f'<ul class="flat">{items}</ul>')
+        else:
+            parts.append(
+                f'<p><span class="badge good">no regressions vs '
+                f"baseline {escape(baseline.label)} (threshold "
+                f"{threshold:.0%})</span></p>")
+    meta = reports[-1].meta
+    if meta:
+        parts.append(_note(" | ".join(
+            f"{key}: {meta[key]}" for key in sorted(meta))))
+    return _panel("Benchmarks", *parts)
+
+
+def sweep_report_html(result: Any,
+                      bench_reports: Sequence[BenchReport] = (),
+                      baseline: Optional[BenchReport] = None,
+                      threshold: float = 0.25) -> str:
+    """Render a :class:`~repro.experiments.sweep.SweepResult` comparison.
+
+    ``bench_reports`` (loaded ``BENCH_*.json`` files, oldest first) add a
+    trajectory panel; ``baseline`` additionally gates the newest report
+    with :func:`~repro.obs.bench.compare_reports`.
+    """
+    succeeded = sum(1 for run in result.runs if run.ok)
+    overview = _panel("Sweep overview", _tiles([
+        (f"{len(result.runs)}", "", "runs"),
+        (f"{succeeded}", "", "succeeded"),
+        (f"{len(result.runs) - succeeded}", "", "failed"),
+        (f"{result.cache_hits}", "", "cache hits"),
+        (f"{result.jobs}", "", "workers"),
+        (f"{result.wall_clock:.1f}", "s", "wall clock"),
+    ]))
+    sections = [overview,
+                _panel("Runs", _sweep_runs_table(result)),
+                _scheme_panel(result),
+                _merged_histogram_panel(result)]
+    failures = _failures_panel(result)
+    if failures is not None:
+        sections.append(failures)
+    if bench_reports or baseline is not None:
+        sections.append(_bench_section(bench_reports, baseline, threshold))
+    subtitle = (f"{len(result.runs)} configurations | {result.jobs} "
+                f"worker(s) | cache "
+                f"{'off' if result.cache_dir is None else 'on'}")
+    return _document("MP-DASH sweep report", subtitle, sections)
+
+
+def bench_report_html(reports: Sequence[BenchReport],
+                      baseline: Optional[BenchReport] = None,
+                      threshold: float = 0.25) -> str:
+    """Standalone benchmark-trajectory document from loaded reports."""
+    reports = list(reports)
+    sections = [_bench_section(reports, baseline, threshold)]
+    if reports:
+        rows = [[escape(r.scenario), f"{r.wall_clock:.3f}",
+                 f"{r.sim_seconds:.1f}", f"{r.sim_per_wall:.1f}",
+                 "-" if r.events is None else f"{r.events}",
+                 ("-" if r.events_per_sec is None
+                  else f"{r.events_per_sec:.0f}"),
+                 ("-" if r.peak_rss_kb is None
+                  else f"{r.peak_rss_kb}"),
+                 f"{r.repeats}"]
+                for r in reports[-1].results]
+        sections.append(_panel(
+            f"Latest report: {reports[-1].label or '(unlabeled)'}",
+            _table([("scenario", False), ("wall s", True),
+                    ("sim s", True), ("sim/wall", True), ("events", True),
+                    ("ev/s", True), ("RSS KiB", True), ("repeats", True)],
+                   rows)))
+    subtitle = f"{len(reports)} report(s)"
+    return _document("MP-DASH benchmark report", subtitle, sections)
+
+
+def write_report(path: str, html: str) -> None:
+    """Write a rendered report to ``path`` (UTF-8)."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(html)

@@ -420,3 +420,88 @@ class TestBench:
         missing = str(tmp_path / "nope.json")
         assert main(["bench", "--load", missing]) == 2
         assert "cannot load" in capsys.readouterr().err
+
+
+class TestReportCommand:
+    def test_offline_render_from_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "run.jsonl")
+        assert main(["trace", "--mpdash", "--duration", "30",
+                     "--out", trace]) == 0
+        capsys.readouterr()
+        out = str(tmp_path / "report.html")
+        assert main(["report", "--load", trace, "--out", out]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # stdout stays machine-parseable
+        assert "session report written to" in captured.err
+        html = open(out).read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "Session overview" in html
+
+    def test_live_session_render(self, tmp_path, capsys):
+        out = str(tmp_path / "live.html")
+        assert main(["report", "--mpdash", "--duration", "30",
+                     "--out", out]) == 0
+        assert "session report written to" in capsys.readouterr().err
+        assert "Path timelines" in open(out).read()
+
+    def test_missing_trace_exits_1(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["report", "--load", missing]) == 1
+        assert "cannot load" in capsys.readouterr().err
+
+
+class TestSweepReportCli:
+    def test_sweep_writes_html_report(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep.html")
+        assert main(["sweep", "--schemes", "baseline,rate",
+                     "--duration", "20", "--wifi", "8", "--lte", "8",
+                     "--report", out]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "sweep report written to" in captured.err
+        html = open(out).read()
+        assert "Scheme comparison" in html
+        assert "mpdash-rate" in html
+
+    def test_live_flag_off_tty_keeps_line_progress(self, tmp_path,
+                                                   capsys):
+        # capsys streams are not TTYs: --live must auto-disable and the
+        # classic progress lines stay.
+        assert main(["sweep", "--schemes", "baseline", "--duration", "20",
+                     "--wifi", "8", "--lte", "8", "--live"]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "run 1/1" in captured.err
+        assert "\x1b[" not in captured.err  # no ANSI leaked
+
+    def test_bad_bench_report_exits_2(self, tmp_path, capsys):
+        out = str(tmp_path / "sweep.html")
+        missing = str(tmp_path / "nope.json")
+        assert main(["sweep", "--schemes", "baseline", "--duration", "20",
+                     "--wifi", "8", "--lte", "8", "--report", out,
+                     "--bench", missing]) == 2
+        assert "cannot load bench report" in capsys.readouterr().err
+
+
+class TestBenchHtml:
+    def test_html_report_written(self, tmp_path, capsys):
+        bench = str(tmp_path / "BENCH_t.json")
+        assert main(["bench", "--scenarios", "single", "--out",
+                     bench]) == 0
+        capsys.readouterr()
+        out = str(tmp_path / "bench.html")
+        assert main(["bench", "--load", bench, "--html", out]) == 0
+        assert "bench HTML report written to" in capsys.readouterr().err
+        html = open(out).read()
+        assert "Benchmarks" in html
+        assert "wall clock" in html
+
+    def test_html_with_compare_embeds_verdict(self, tmp_path, capsys):
+        bench = str(tmp_path / "BENCH_t.json")
+        assert main(["bench", "--scenarios", "single", "--out",
+                     bench]) == 0
+        capsys.readouterr()
+        out = str(tmp_path / "bench.html")
+        assert main(["bench", "--load", bench, "--compare", bench,
+                     "--html", out]) == 0
+        assert "no regression" in open(out).read()

@@ -214,6 +214,66 @@ class TestCheckerDeterminism:
             dumps_jsonl(b.events, b.trace_meta)
 
 
+class TestReportDeterminism:
+    """The HTML session report is a pure function of the trace: the file
+    a live ``run_session(report=...)`` writes and the one rendered
+    offline from the exported JSONL must be byte-identical."""
+
+    def test_live_report_equals_offline_render(self, tmp_path):
+        from repro.obs import dumps_jsonl, loads_jsonl, session_report_html
+
+        out = tmp_path / "live.html"
+        result = run_session(short_config(collect_metrics=True,
+                                          collect_spans=True),
+                             report=str(out))
+        trace = loads_jsonl(dumps_jsonl(result.events, result.trace_meta))
+        assert out.read_text() == session_report_html(trace)
+
+    def test_same_config_byte_identical_report(self):
+        from repro.obs import Trace, session_report_html
+
+        def render():
+            result = run_session(short_config(record_trace=True,
+                                              collect_metrics=True,
+                                              collect_spans=True))
+            return session_report_html(Trace(meta=result.trace_meta,
+                                             events=result.events))
+
+        assert render() == render()
+
+    def test_seeded_fault_trace_renders_all_panels(self):
+        """Acceptance: the seeded scheduler-fault session renders every
+        figure panel, including a populated invariant-violations table."""
+        from repro.core.scheduler import DeadlineAwareScheduler
+        from repro.obs import (Trace, dumps_jsonl, loads_jsonl,
+                               session_report_html)
+
+        orig = DeadlineAwareScheduler.on_transfer_start
+
+        def faulty(scheduler, now, transfer, conn):
+            orig(scheduler, now, transfer, conn)
+            if scheduler.active:  # Algorithm 1 broken: everything off
+                for name in conn.path_names():
+                    conn.request_path_state(name, False)
+
+        DeadlineAwareScheduler.on_transfer_start = faulty
+        try:
+            result = run_session(short_config(record_trace=True,
+                                              collect_metrics=True,
+                                              collect_spans=True))
+        finally:
+            DeadlineAwareScheduler.on_transfer_start = orig
+        trace = loads_jsonl(dumps_jsonl(result.events, result.trace_meta))
+        html = session_report_html(trace)
+        assert html == session_report_html(
+            Trace(meta=result.trace_meta, events=result.events))
+        for panel in ("Chunk downloads (Figure 8)", "Path timelines",
+                      "Buffer occupancy", "Deadline slack",
+                      "Radio states and energy", "Invariant verdicts"):
+            assert panel in html, panel
+        assert "path-control" in html  # the seeded fault's verdicts
+
+
 class TestObservabilityOverhead:
     def test_collectors_within_ten_percent_of_bare_bus(self):
         """Acceptance: metrics + spans subscribers cost <= 10% wall clock

@@ -1,0 +1,265 @@
+"""Tests for the HTML reports and the live sweep dashboard."""
+
+import io
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments import SessionConfig, run_session, run_sweep
+from repro.experiments.sweep import expand_grid
+from repro.obs import (BenchReport, EventBus, SweepCompleted,
+                       SweepDashboard, SweepRunFailed, SweepRunFinished,
+                       SweepRunStarted, SweepRunSummarized, SweepStarted,
+                       Trace, bench_report_html, dumps_jsonl, loads_jsonl,
+                       session_report_html, sweep_report_html, write_report)
+from repro.obs.bench import BenchResult
+from repro.obs.trace_export import TraceMeta
+
+#: Markers of external references a self-contained report must not have.
+_EXTERNAL = ("http://", "https://", "<script src", "<link", "<img",
+             "url(", "@import")
+
+
+def parse_document(html: str) -> ET.Element:
+    """The report is XHTML-style well-formed (minus the DOCTYPE line)."""
+    assert html.startswith("<!DOCTYPE html>\n")
+    return ET.fromstring(html.split("\n", 1)[1])
+
+
+def assert_self_contained(html: str) -> None:
+    for marker in _EXTERNAL:
+        assert marker not in html, f"external reference: {marker!r}"
+
+
+@pytest.fixture(scope="module")
+def session_trace():
+    result = run_session(SessionConfig(
+        video="big_buck_bunny", abr="festive", mpdash=True,
+        deadline_mode="rate", wifi_mbps=3.8, lte_mbps=3.0,
+        video_duration=60.0, record_trace=True, collect_metrics=True,
+        collect_spans=True))
+    return Trace(meta=result.trace_meta, events=result.events)
+
+
+@pytest.fixture(scope="module")
+def session_html(session_trace):
+    return session_report_html(session_trace)
+
+
+@pytest.fixture(scope="module")
+def sweep_result():
+    base = SessionConfig(video="big_buck_bunny", abr="festive",
+                         wifi_mbps=8.0, lte_mbps=8.0, video_duration=20.0)
+    return run_sweep(expand_grid(base, {"scheme": ["baseline", "rate"]}))
+
+
+def bench_report(label="t", wall=1.0):
+    return BenchReport(label=label, results=[
+        BenchResult(scenario="single", wall_clock=wall, sim_seconds=60.0,
+                    sim_per_wall=60.0 / wall, events=1000,
+                    events_per_sec=1000 / wall, peak_rss_kb=50_000,
+                    repeats=1)], meta={"python": "3.x"})
+
+
+class TestSessionReport:
+    def test_well_formed_and_self_contained(self, session_html):
+        parse_document(session_html)
+        assert_self_contained(session_html)
+
+    def test_all_panels_present(self, session_html):
+        for panel in ("Session overview", "Chunk downloads (Figure 8)",
+                      "Path timelines", "Buffer occupancy",
+                      "Deadline slack", "Radio states and energy",
+                      "Invariant verdicts", "Causal spans"):
+            assert panel in session_html, panel
+
+    def test_pure_function_of_trace(self, session_trace, session_html):
+        assert session_report_html(session_trace) == session_html
+
+    def test_jsonl_round_trip_same_bytes(self, session_trace,
+                                         session_html):
+        round_tripped = loads_jsonl(dumps_jsonl(
+            session_trace.events, session_trace.meta))
+        assert session_report_html(round_tripped) == session_html
+
+    def test_dark_mode_styles_present(self, session_html):
+        assert "prefers-color-scheme" in session_html
+
+    def test_empty_trace_renders_fallbacks(self):
+        html = session_report_html(Trace(
+            meta=TraceMeta(session_duration=0.0), events=[]))
+        parse_document(html)
+        assert_self_contained(html)
+        assert "no chunks" in html
+
+    def test_write_report(self, tmp_path, session_html):
+        out = tmp_path / "r.html"
+        write_report(str(out), session_html)
+        assert out.read_text() == session_html
+
+
+class TestSweepReport:
+    def test_well_formed_and_self_contained(self, sweep_result):
+        html = sweep_report_html(sweep_result)
+        parse_document(html)
+        assert_self_contained(html)
+
+    def test_panels_present(self, sweep_result):
+        html = sweep_report_html(sweep_result)
+        for panel in ("Sweep overview", "Scheme comparison",
+                      "Merged distributions", "Runs"):
+            assert panel in html, panel
+        assert "baseline" in html and "mpdash-rate" in html
+
+    def test_no_failures_no_failure_panel(self, sweep_result):
+        assert not sweep_result.failures
+        assert "Failures" not in sweep_report_html(sweep_result)
+
+    def test_bench_trajectory_panel(self, sweep_result):
+        html = sweep_report_html(
+            sweep_result,
+            bench_reports=[bench_report("a", 1.0), bench_report("b", 1.1)],
+            baseline=bench_report("base", 1.0))
+        parse_document(html)
+        assert "Benchmarks" in html
+        assert "bus events per second" in html
+
+    def test_export_report_method(self, sweep_result, tmp_path):
+        out = tmp_path / "sweep.html"
+        sweep_result.export_report(str(out))
+        assert out.read_text() == sweep_report_html(sweep_result)
+
+    def test_failures_panel_rendered(self):
+        from repro.experiments.sweep import run_sweep as sweep
+
+        def crash(config):
+            raise RuntimeError("injected crash")
+
+        result = sweep([SessionConfig(video="big_buck_bunny",
+                                      abr="festive", video_duration=20.0)],
+                       runner=crash)
+        html = sweep_report_html(result)
+        parse_document(html)
+        assert "Failures" in html
+        assert "injected crash" in html
+
+    def test_download_runs_tabulated_without_qoe(self):
+        from repro.experiments import FileDownloadConfig
+
+        result = run_sweep([FileDownloadConfig(
+            size=1e6, deadline=10.0, wifi_mbps=8.0, lte_mbps=8.0)])
+        html = sweep_report_html(result)
+        parse_document(html)
+        assert "Runs" in html
+        # Download summaries carry no session QoE: no scheme panel data.
+        assert "means over" not in html
+
+
+class TestBenchReportHtml:
+    def test_renders_and_validates(self):
+        html = bench_report_html([bench_report()])
+        parse_document(html)
+        assert_self_contained(html)
+        assert "Benchmarks" in html
+
+    def test_regression_verdict_shown(self):
+        html = bench_report_html([bench_report("now", wall=10.0)],
+                                 baseline=bench_report("base", wall=1.0),
+                                 threshold=0.25)
+        assert "regression" in html.lower()
+
+    def test_no_reports_fallback(self):
+        html = bench_report_html([])
+        parse_document(html)
+        assert "no bench reports supplied" in html
+
+
+def drive_dashboard(dashboard):
+    """Publish a canned sweep event sequence through an attached bus."""
+    bus = EventBus()
+    dashboard.attach(bus)
+    bus.publish(SweepStarted(0.0, total=3, jobs=2))
+    bus.publish(SweepRunStarted(0.1, "aaaa1111", 0, attempt=1))
+    bus.publish(SweepRunStarted(0.2, "bbbb2222", 1, attempt=1))
+    bus.publish(SweepRunFinished(1.0, "aaaa1111", 0, elapsed=0.9,
+                                 cached=False))
+    bus.publish(SweepRunSummarized(1.0, "aaaa1111", 0, finished=True,
+                                   mean_bitrate=5e5, stall_count=1,
+                                   cellular_bytes=2e6, radio_energy=9.0,
+                                   violations=2))
+    bus.publish(SweepRunFailed(1.5, "bbbb2222", 1, kind="error",
+                               error="boom", attempts=1))
+    bus.publish(SweepCompleted(2.0, total=3, succeeded=2, failed=1,
+                               cache_hits=1))
+    return bus
+
+
+class TestSweepDashboard:
+    def test_disabled_subscribes_nothing(self):
+        bus = EventBus()
+        before = bus.subscriber_count()
+        SweepDashboard(stream=io.StringIO(), enabled=False).attach(bus)
+        assert bus.subscriber_count() == before
+
+    def test_auto_disables_off_tty(self, capsys):
+        # Test streams are not TTYs, so auto-detection must say off.
+        assert not SweepDashboard(stream=io.StringIO()).enabled
+
+    def test_render_lines_content(self):
+        dashboard = SweepDashboard(stream=io.StringIO(), enabled=True)
+        drive_dashboard(dashboard)
+        lines = dashboard.render_lines()
+        assert "3/3" in lines[0]
+        assert "failed 1" in lines[0]
+        assert "active -" in lines[1]
+        assert "stalls 1" in lines[2]
+        assert "violations 2" in lines[2]
+
+    def test_active_runs_listed_mid_sweep(self):
+        dashboard = SweepDashboard(stream=io.StringIO(), enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(SweepStarted(0.0, total=2, jobs=1))
+        bus.publish(SweepRunStarted(0.1, "cafecafe9999", 0, attempt=1))
+        assert "#0:cafecafe" in "\n".join(dashboard.render_lines())
+
+    def test_draws_only_to_its_stream(self, capsys):
+        stream = io.StringIO()
+        drive_dashboard(SweepDashboard(stream=stream, enabled=True))
+        captured = capsys.readouterr()
+        assert captured.out == ""  # stdout contract untouched
+        assert stream.getvalue() != ""
+
+    def test_throttles_by_event_time(self):
+        stream = io.StringIO()
+        dashboard = SweepDashboard(stream=stream, enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(SweepStarted(0.0, total=100, jobs=1))
+        first = stream.getvalue()
+        # Within the throttle window: finishes do not redraw.
+        bus.publish(SweepRunFinished(0.05, "k", 0, elapsed=0.05,
+                                     cached=False))
+        assert stream.getvalue() == first
+        bus.publish(SweepRunFinished(5.0, "k", 1, elapsed=0.1,
+                                     cached=False))
+        assert stream.getvalue() != first
+
+    def test_closed_stream_disables_quietly(self):
+        stream = io.StringIO()
+        dashboard = SweepDashboard(stream=stream, enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        stream.close()
+        bus.publish(SweepStarted(0.0, total=1, jobs=1))
+        assert not dashboard.enabled
+
+    def test_live_sweep_emits_summarized_events(self):
+        seen = []
+        bus = EventBus()
+        bus.subscribe(SweepRunSummarized, seen.append)
+        run_sweep([SessionConfig(video="big_buck_bunny", abr="festive",
+                                 wifi_mbps=8.0, lte_mbps=8.0,
+                                 video_duration=20.0)], bus=bus)
+        assert len(seen) == 1
+        assert seen[0].mean_bitrate > 0

@@ -52,3 +52,19 @@ class TestSessionReport:
         wide = session_report(mpdash_result, width=200)
         assert max(len(line) for line in narrow.splitlines()) <= \
             max(len(line) for line in wide.splitlines())
+
+    def test_width_floor_rejected(self, mpdash_result):
+        with pytest.raises(ValueError):
+            session_report(mpdash_result, width=5)
+
+    def test_pattern_window_beyond_session_clamped(self, mpdash_result):
+        report = session_report(mpdash_result, pattern_window=1e9)
+        assert f"first {mpdash_result.session_duration:.0f}s" in report
+
+    def test_short_session_still_reports(self):
+        result = run_session(SessionConfig(
+            video="big_buck_bunny", abr="festive", wifi_mbps=8.0,
+            lte_mbps=8.0, video_duration=8.0))
+        report = session_report(result)
+        assert "Session:" in report
+        assert "Idle gaps" in report

@@ -1,16 +1,51 @@
-"""Tests for the text visualizations."""
+"""Tests for the figure geometry and the text visualizations."""
 
 import pytest
 
 from repro.analysis.analyzer import ChunkView
-from repro.analysis.visualize import chunk_timeline, sparkline, \
-    throughput_plot
+from repro.analysis.visualize import (NUM_LEVELS, chunk_cells,
+                                      chunk_timeline, sparkline,
+                                      throughput_plot)
 
 
 def view(index, level, cellular):
     return ChunkView(index=index, level=level, start=index * 4.0,
                      end=index * 4.0 + 2.0, size=1e6,
                      cellular_fraction=cellular)
+
+
+class TestChunkCells:
+    def test_one_cell_per_chunk(self):
+        cells = chunk_cells([view(i, 0, 0.0) for i in range(7)])
+        assert [c.index for c in cells] == list(range(7))
+
+    def test_level_clamped_to_bands(self):
+        cell = chunk_cells([view(0, NUM_LEVELS + 3, 0.0)])[0]
+        assert cell.level == NUM_LEVELS - 1
+        assert cell.height_fraction == 1.0
+
+    def test_height_fraction_one_band_per_level(self):
+        fractions = [chunk_cells([view(0, level, 0.0)])[0].height_fraction
+                     for level in range(NUM_LEVELS)]
+        assert fractions == sorted(fractions)
+        assert fractions[0] == pytest.approx(1.0 / NUM_LEVELS)
+
+    def test_marker_tenths(self):
+        assert chunk_cells([view(0, 0, 0.0)])[0].marker == "."
+        assert chunk_cells([view(0, 0, 0.73)])[0].marker == "7"
+        assert chunk_cells([view(0, 0, 1.0)])[0].marker == "9"
+
+    def test_window_and_duration_preserved(self):
+        cell = chunk_cells([view(3, 1, 0.5)])[0]
+        assert (cell.start, cell.end) == (12.0, 14.0)
+        assert cell.duration == pytest.approx(2.0)
+        assert cell.cellular_fraction == 0.5
+
+    def test_text_strip_consumes_the_same_geometry(self):
+        chunks = [view(i, i % NUM_LEVELS, i / 10) for i in range(5)]
+        first_line = chunk_timeline(chunks).splitlines()[0]
+        expected = "".join(c.glyph + c.marker for c in chunk_cells(chunks))
+        assert first_line == expected
 
 
 class TestChunkTimeline:
@@ -44,6 +79,12 @@ class TestSparkline:
     def test_length_matches_input(self):
         assert len(sparkline([1.0, 2.0, 3.0])) == 3
 
+    def test_explicit_maximum_rescales(self):
+        assert sparkline([5.0], maximum=10.0) != sparkline([5.0])
+
+    def test_none_maximum_uses_peak(self):
+        assert sparkline([5.0], maximum=None) == sparkline([5.0])
+
     def test_empty(self):
         assert sparkline([]) == ""
 
@@ -71,3 +112,11 @@ class TestThroughputPlot:
     def test_narrow_width_rejected(self):
         with pytest.raises(ValueError):
             throughput_plot([("a", [1.0])], 0.1, width=3)
+
+    def test_no_series_renders_footer_only(self):
+        text = throughput_plot([], interval=0.1)
+        assert "peak 0.00" in text
+
+    def test_empty_series_mean_zero(self):
+        text = throughput_plot([("idle", [])], interval=0.1)
+        assert "mean=0.00" in text
