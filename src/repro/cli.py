@@ -286,6 +286,11 @@ def _add_session_args(parser: argparse.ArgumentParser) -> None:
 
 
 def _add_network_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", default="fast",
+                        choices=("fast", "tick"),
+                        help="simulation kernel: event-driven analytic "
+                             "(fast, default) or the fixed-interval "
+                             "reference (tick)")
     parser.add_argument("--wifi", type=float, default=3.8,
                         help="WiFi bandwidth, Mbps")
     parser.add_argument("--lte", type=float, default=3.0,
@@ -305,7 +310,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         deadline_mode=args.deadline_mode, alpha=args.alpha,
         wifi_mbps=args.wifi, lte_mbps=args.lte,
         wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
-        video_duration=args.duration)
+        video_duration=args.duration, kernel=args.kernel)
     result = run_session(config)
     metrics = result.metrics
     # Human-oriented tables go to stderr (the stats/spans/profile
@@ -334,7 +339,8 @@ def cmd_compare(args: argparse.Namespace) -> int:
     base = SessionConfig(
         video=args.video, abr=args.abr, wifi_mbps=args.wifi,
         lte_mbps=args.lte, wifi_rtt_ms=args.wifi_rtt,
-        lte_rtt_ms=args.lte_rtt, video_duration=args.duration)
+        lte_rtt_ms=args.lte_rtt, video_duration=args.duration,
+        kernel=args.kernel)
     comparison = run_schemes(base, jobs=args.jobs,
                              cache_dir=args.cache_dir)
     rows = []
@@ -411,7 +417,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     base = SessionConfig(
         video=args.video, abr=args.abr, wifi_mbps=args.wifi,
         lte_mbps=args.lte, wifi_rtt_ms=args.wifi_rtt,
-        lte_rtt_ms=args.lte_rtt, video_duration=args.duration)
+        lte_rtt_ms=args.lte_rtt, video_duration=args.duration,
+        kernel=args.kernel)
     try:
         grid = parse_grid(args.grid)
         if args.schemes is not None:
@@ -476,7 +483,8 @@ def cmd_download(args: argparse.Namespace) -> int:
         size=args.size_mb * 1e6, deadline=args.deadline,
         mpdash=not args.no_mpdash, alpha=args.alpha,
         wifi_mbps=args.wifi, lte_mbps=args.lte,
-        wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt))
+        wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
+        kernel=args.kernel))
     print(format_table(
         ["metric", "value"],
         [["finished at s", f"{result.duration:.2f}"],
@@ -540,7 +548,8 @@ def cmd_trace(args: argparse.Namespace) -> int:
             deadline_mode=args.deadline_mode, alpha=args.alpha,
             wifi_mbps=args.wifi, lte_mbps=args.lte,
             wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
-            video_duration=args.duration, record_trace=True)
+            video_duration=args.duration, record_trace=True,
+            kernel=args.kernel)
         result = run_session(config)
         if args.out is not None:
             result.export_trace(args.out)
@@ -591,7 +600,7 @@ def _session_config(args: argparse.Namespace, **overrides) -> SessionConfig:
         deadline_mode=args.deadline_mode, alpha=args.alpha,
         wifi_mbps=args.wifi, lte_mbps=args.lte,
         wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
-        video_duration=args.duration, **overrides)
+        video_duration=args.duration, kernel=args.kernel, **overrides)
 
 
 def cmd_stats(args: argparse.Namespace) -> int:

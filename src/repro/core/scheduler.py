@@ -25,6 +25,7 @@ therefore incur the DSS signaling delay, as in the kernel implementation.
 
 from __future__ import annotations
 
+import math
 from typing import Dict, List, Optional
 
 from ..mptcp.connection import MptcpConnection, PathController, Transfer
@@ -161,9 +162,123 @@ class DeadlineAwareScheduler(PathController):
         self._count_flips(connection, desired)
         return desired
 
+    def next_decision(self, now: float, transfer: Optional[Transfer],
+                      connection: MptcpConnection) -> Optional[float]:
+        """Predict when the Algorithm 1 condition next flips (fast kernel).
+
+        Between kernel wakeups every quantity in the enable/disable test
+        moves linearly: the time budget shrinks at rate 1 and the
+        remaining bytes at the current aggregate delivery rate ``r``.  For
+        each cost-ordered prefix with predicted capacity ``C`` the
+        condition ``(A - t)·C >= R - r·t`` therefore crosses at
+
+            t = (R - A·C) / (r - C)
+
+        (one formula covers both directions).  The earliest positive
+        crossing, the activation deadline, and — while any estimator is
+        still cold — a short bootstrap poll are candidate wakeups; the
+        kernel re-evaluates :meth:`on_tick` there with fresh state, so an
+        inaccurate linear prediction costs one extra wakeup, never a wrong
+        decision.
+        """
+        activation = self._activation
+        if (activation is None or transfer is None
+                or activation.transfer_id != transfer.id):
+            return None
+        deadline = activation.deadline()
+        if now >= deadline:
+            return None
+        earliest = deadline
+        floor = now + connection.tick_interval
+        guard = connection.signaling_delay + 2.0 * connection.tick_interval
+        budget = (self.alpha * activation.window
+                  - (now - activation.started_at) - guard)
+        remaining = activation.size - min(transfer.bytes_done,
+                                          activation.size)
+        names = self._ordered_names(connection)
+        estimates = {}
+        cold = False
+        rate = 0.0
+        for name in names:
+            estimate = connection.throughput_estimate(name)
+            if estimate is None:
+                cold = True
+                estimate = 0.0
+            estimates[name] = estimate
+            if connection.path_state(name):
+                rate += estimate
+        if cold:
+            # Estimators warm within a sample interval; poll until the
+            # first real capacity numbers exist.
+            earliest = min(earliest, now + 0.1)
+        else:
+            # The linear crossing below assumes the estimates hold still.
+            # After a link-capacity change they do not: the estimator
+            # drifts toward the new rate one sample at a time, and the
+            # enable condition can flip long before the stale-estimate
+            # crossing.  While any delivering path's estimate disagrees
+            # with its instantaneous capacity, check whether the *decision*
+            # would differ under ground-truth capacities: if so a flip is
+            # imminent as samples arrive, so poll at sample cadence (the
+            # estimator cannot converge faster, so no decision the tick
+            # kernel would have made is missed).  If the decisions agree,
+            # the drift is cosmetic — a coarse safety poll suffices, which
+            # is what keeps wandering-trace (mobility) workloads from
+            # waking at 20 Hz through every download.
+            drifting = False
+            actuals: Dict[str, float] = {}
+            for name in names:
+                actual = connection.path_capacity(name)
+                actuals[name] = actual
+                estimate = estimates[name]
+                if (connection.path_state(name) and estimate > 0.0
+                        and abs(estimate - actual)
+                        > 0.25 * max(actual, estimate)):
+                    drifting = True
+            if drifting:
+                if (self._prefix_decision(names, estimates, remaining,
+                                          budget)
+                        != self._prefix_decision(names, actuals, remaining,
+                                                 budget)):
+                    earliest = min(earliest, now + 0.05)
+                else:
+                    earliest = min(earliest, now + 0.25)
+        capacity = 0.0
+        for name in names[:-1]:
+            capacity += estimates[name]
+            denominator = rate - capacity
+            if denominator == 0.0:
+                continue
+            crossing = (remaining - max(budget, 0.0) * capacity) / denominator
+            if crossing > 0.0 and math.isfinite(crossing):
+                candidate = max(now + crossing, floor)
+                if candidate < earliest:
+                    earliest = candidate
+        return max(earliest, floor)
+
     # ------------------------------------------------------------------
     # Decision core
     # ------------------------------------------------------------------
+    def _prefix_decision(self, names: List[str], rates: Dict[str, float],
+                         remaining: float, time_left: float) -> tuple:
+        """The enabled-prefix Algorithm 1 would pick under ``rates``.
+
+        Same cost-ordered-prefix rule as :meth:`_desired_states`, but over
+        caller-supplied rate numbers — used to compare the decision under
+        current estimates against the decision under ground-truth
+        capacities without touching connection state.
+        """
+        desired = []
+        capacity_so_far = 0.0
+        need_more = True
+        budget = max(time_left, 0.0)
+        for index, name in enumerate(names):
+            desired.append(True if index == 0 else need_more)
+            capacity_so_far += rates[name]
+            if budget * capacity_so_far >= remaining:
+                need_more = False
+        return tuple(desired)
+
     def _desired_states(self, connection: MptcpConnection, remaining: float,
                         time_left: float) -> Dict[str, bool]:
         """Smallest cost-ordered prefix of paths that can meet the deadline.

@@ -15,16 +15,51 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
-from ..net.simulator import Simulator
+from ..net.simulator import Simulator, Timer
 from ..obs.events import (ChunkDownloaded, ChunkRequested, MpDashArmed,
                           MpDashSkipped, PlaybackEnded, PlaybackStarted,
                           QualitySwitched, StallEnd, StallStart)
 
 if TYPE_CHECKING:  # imported lazily at runtime to avoid an import cycle
     from ..abr.base import AbrAlgorithm, AbrContext
+from .buffer import PlaybackBuffer
 from .events import ChunkRecord, PlayerEventLog
 from .http import HttpClient, HttpResponse
 from .manifest import Manifest
+
+
+class _LazyDrainBuffer(PlaybackBuffer):
+    """A playback buffer whose occupancy commits lazily (event playout).
+
+    Between syncs the true occupancy is ``_level - (now - synced_at)``;
+    every public read routes through the owning player's
+    :meth:`DashPlayer._sync_playout` so external readers (the MP-DASH
+    adapter, ABR contexts, tests) always observe the drained value.  The
+    player itself reads ``_level`` directly after syncing.
+    """
+
+    def __init__(self, capacity: float, player: "DashPlayer"):
+        super().__init__(capacity)
+        self._player = player
+
+    @property
+    def level(self) -> float:
+        self._player._sync_playout()
+        return self._level
+
+    @property
+    def free(self) -> float:
+        self._player._sync_playout()
+        return max(0.0, self.capacity - self._level)
+
+    @property
+    def empty(self) -> bool:
+        self._player._sync_playout()
+        return self._level <= 1e-9
+
+    def fits(self, seconds: float) -> bool:
+        self._player._sync_playout()
+        return super().fits(seconds)
 
 
 class PlayerAddon:
@@ -61,19 +96,34 @@ class DashPlayer:
                  buffer_capacity: float = 40.0,
                  startup_threshold: Optional[float] = None,
                  resume_threshold: Optional[float] = None,
-                 tick_interval: float = 0.1):
-        from .buffer import PlaybackBuffer  # local to avoid cycle in docs
-
+                 tick_interval: float = 0.1,
+                 playout: str = "tick"):
+        """``playout`` selects the playout clock: ``"tick"`` drains the
+        buffer on a fixed ``tick_interval`` grid (the reference), while
+        ``"event"`` drains it lazily against the simulated clock and
+        schedules exact wakeups for the only autonomous transitions a
+        draining buffer has — running empty (stall or playback end) and
+        draining far enough for the next chunk to fit.  Event playout
+        pairs with the connection's ``kernel="fast"``; both modes publish
+        the same event sequence up to tick-grid rounding.
+        """
         if buffer_capacity < 2 * manifest.chunk_duration:
             raise ValueError(
                 f"buffer capacity {buffer_capacity}s too small for "
                 f"{manifest.chunk_duration}s chunks")
+        if playout not in ("tick", "event"):
+            raise ValueError(f"unknown playout {playout!r} "
+                             f"(known: tick, event)")
         self.sim = sim
         self.client = client
         self.manifest = manifest
         self.abr = abr
         self.addon = addon if addon is not None else PlayerAddon()
-        self.buffer = PlaybackBuffer(buffer_capacity)
+        self.playout = playout
+        if playout == "event":
+            self.buffer = _LazyDrainBuffer(buffer_capacity, self)
+        else:
+            self.buffer = PlaybackBuffer(buffer_capacity)
         default_threshold = min(2 * manifest.chunk_duration,
                                 buffer_capacity / 2)
         self.startup_threshold = (startup_threshold if startup_threshold
@@ -96,15 +146,26 @@ class DashPlayer:
         self._downloads_done = False
         self.finished = False
         self._ticker = None
+        # Event playout state: the single wakeup timer, the instant the
+        # buffer occupancy was last committed, and a reentrancy guard (a
+        # sync may publish events whose subscribers read the buffer back).
+        self._timer: Optional[Timer] = None
+        self._synced_at = 0.0
+        self._syncing = False
 
     # ------------------------------------------------------------------
     # Session control
     # ------------------------------------------------------------------
     def start(self) -> None:
         """Begin the session: request chunk 0 and start the playout clock."""
-        if self._ticker is not None:
+        if self._ticker is not None or self._timer is not None:
             raise RuntimeError("player already started")
-        self._ticker = self.sim.call_every(self.tick_interval, self._on_tick)
+        if self.playout == "event":
+            self._timer = Timer(self.sim, self._on_wake)
+            self._synced_at = self.sim.now
+        else:
+            self._ticker = self.sim.call_every(self.tick_interval,
+                                               self._on_tick)
         self._maybe_request()
 
     @property
@@ -187,6 +248,7 @@ class DashPlayer:
     def _on_chunk_done(self, response: HttpResponse, index: int, level: int,
                        requested_at: float, buffer_at_request: float,
                        deadline: Optional[float]) -> None:
+        self._sync_playout()
         now = self.sim.now
         transfer = response.transfer
         elapsed = max(now - requested_at, 1e-9)
@@ -217,7 +279,16 @@ class DashPlayer:
         if self._downloads_done and not self._playing:
             # Very short videos: everything buffered before startup fired.
             self._begin_playback()
+        if (self._timer is not None and self._stalled
+                and (self.buffer.level >= self.resume_threshold
+                     or (self._downloads_done and self.buffer.level > 0))):
+            # Chunk arrivals are the only refills, so under event playout
+            # the stall ends exactly here (the tick loop re-checks this on
+            # its own grid instead).
+            self._stalled = False
+            self.bus.publish(StallEnd(now))
         self._maybe_request()
+        self._predict_playout()
 
     def _begin_playback(self) -> None:
         self._playing = True
@@ -251,6 +322,72 @@ class DashPlayer:
         self.bus.publish(PlaybackEnded(self.sim.now))
         if self._ticker is not None:
             self._ticker.stop()
+        if self._timer is not None:
+            self._timer.cancel()
+
+    # ------------------------------------------------------------------
+    # Event playout clock (playout="event")
+    # ------------------------------------------------------------------
+    # While playing, buffer occupancy is a known linear function of time
+    # (drain rate exactly 1); between chunk arrivals the only autonomous
+    # transitions are the buffer running empty and a blocked request
+    # starting to fit.  Both instants are computed exactly and armed on a
+    # single :class:`Timer`; everything else happens at chunk arrivals.
+
+    def _sync_playout(self) -> None:
+        """Commit the continuous drain since the last sync (event mode)."""
+        if self._timer is None or self._syncing:
+            return
+        now = self.sim.now
+        dt = now - self._synced_at
+        if dt <= 0:
+            return
+        self._syncing = True
+        try:
+            self._synced_at = now
+            if self.finished or not self._playing or self._stalled:
+                return
+            self.buffer.drain(dt)
+            self.buffer_samples.append((now, self.buffer._level))
+            if self.buffer._level <= 1e-9:
+                # The wakeup lands exactly on the empty instant, so the
+                # stall (or the end of playback) starts at ``now``.
+                if self._downloads_done:
+                    self._end_playback()
+                else:
+                    self._stalled = True
+                    self.bus.publish(StallStart(now))
+        finally:
+            self._syncing = False
+
+    def _on_wake(self) -> None:
+        self._sync_playout()
+        self._maybe_request()
+        self._predict_playout()
+
+    def _predict_playout(self) -> None:
+        """Arm the timer at the next autonomous playout transition."""
+        if self._timer is None:
+            return
+        if self.finished:
+            self._timer.cancel()
+            return
+        if not self._playing or self._stalled:
+            # Occupancy can only change via chunk arrivals; nothing to
+            # wake for.
+            self._timer.set(None)
+            return
+        level = self.buffer._level
+        target = self._synced_at + level  # runs empty: stall or end
+        if (not self._outstanding and not self._downloads_done
+                and self._next_index < self.manifest.num_chunks
+                and not self.buffer.fits(self.manifest.chunk_duration)):
+            # A blocked request unblocks once one chunk's worth drains.
+            fits_at = self._synced_at + (
+                level + self.manifest.chunk_duration - self.buffer.capacity)
+            if fits_at < target:
+                target = fits_at
+        self._timer.set(target)
 
     def __repr__(self) -> str:
         return (f"<DashPlayer video={self.manifest.video_name!r} "

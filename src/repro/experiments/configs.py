@@ -62,6 +62,10 @@ class SessionConfig:
     video_duration: float = 600.0
 
     # --- simulation ---
+    #: Simulation kernel: ``"fast"`` (event-driven analytic, the default)
+    #: or ``"tick"`` (the fixed-interval reference implementation).  The
+    #: choice also selects the matching player playout clock.
+    kernel: str = "fast"
     tick_interval: float = 0.02
     device: str = "galaxy_note"
     steady_state_fraction: float = 0.2
@@ -76,6 +80,9 @@ class SessionConfig:
     collect_spans: bool = False
 
     def __post_init__(self) -> None:
+        if self.kernel not in ("fast", "tick"):
+            raise ValueError(f"unknown kernel {self.kernel!r} "
+                             f"(known: fast, tick)")
         if self.deadline_mode not in DEADLINE_MODES:
             raise ValueError(f"unknown deadline mode {self.deadline_mode!r} "
                              f"(known: {DEADLINE_MODES})")
@@ -120,10 +127,15 @@ class FileDownloadConfig:
     mptcp_scheduler: str = "minrtt"
     signaling_delay: Optional[float] = None
     subflow_reestablish: bool = False
+    #: Simulation kernel: ``"fast"`` (event-driven analytic) or ``"tick"``.
+    kernel: str = "fast"
     tick_interval: float = 0.01
     device: str = "galaxy_note"
 
     def __post_init__(self) -> None:
+        if self.kernel not in ("fast", "tick"):
+            raise ValueError(f"unknown kernel {self.kernel!r} "
+                             f"(known: fast, tick)")
         if self.size <= 0:
             raise ValueError(f"size must be positive: {self.size!r}")
         if self.deadline <= 0:

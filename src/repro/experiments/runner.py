@@ -154,7 +154,8 @@ def run_session(config: SessionConfig, profile: bool = False,
         sim, paths, scheduler=config.mptcp_scheduler,
         tick_interval=config.tick_interval,
         signaling_delay=config.signaling_delay,
-        subflow_reestablish=config.subflow_reestablish)
+        subflow_reestablish=config.subflow_reestablish,
+        kernel=config.kernel)
     if config.collect_metrics:
         PathSampler(sim, connection)
 
@@ -176,7 +177,9 @@ def run_session(config: SessionConfig, profile: bool = False,
                                 phi_fraction=config.phi_fraction)
 
     player = DashPlayer(sim, client, manifest, abr, addon=adapter,
-                        buffer_capacity=config.buffer_capacity)
+                        buffer_capacity=config.buffer_capacity,
+                        playout=("event" if config.kernel == "fast"
+                                 else "tick"))
     player.start()
 
     cap = config.sim_deadline
@@ -253,7 +256,8 @@ def run_file_download(config: FileDownloadConfig) -> FileDownloadResult:
         sim, paths, scheduler=config.mptcp_scheduler,
         tick_interval=config.tick_interval,
         signaling_delay=config.signaling_delay,
-        subflow_reestablish=config.subflow_reestablish)
+        subflow_reestablish=config.subflow_reestablish,
+        kernel=config.kernel)
 
     socket = None
     if config.mpdash:

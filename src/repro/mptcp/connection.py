@@ -17,13 +17,15 @@ describes:
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from collections import deque
 from typing import Callable, Deque, Dict, List, Optional, Sequence
 
 from ..estimators import ThroughputEstimator
 from ..net.link import Path
-from ..net.simulator import Simulator
+from ..net.simulator import Simulator, Timer
+from ..net.tcp import integrate_window
 from ..obs.events import (PathStateRequested, SubflowStateChange,
                           TransferCompleted, TransferStarted,
                           new_packet_sent)
@@ -50,14 +52,33 @@ class Transfer:
         self.tag = tag
         self.total_bytes = float(total_bytes)
         self.bytes_done = 0.0
-        #: When set, only this many bytes exist at the sender so far (a
-        #: proxy still fetching from the origin); None = all available.
-        self.available: Optional[float] = None
+        self._available: Optional[float] = None
+        #: Invalidation hook: the event-driven kernel plants a callback
+        #: here while the transfer is active, because a change in sender-
+        #: side availability moves the predicted completion time.
+        self._on_available_change: Optional[Callable[[], None]] = None
         self.per_path: Dict[str, float] = {}
         self.requested_at: Optional[float] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.on_complete = on_complete
+
+    @property
+    def available(self) -> Optional[float]:
+        """When set, only this many bytes exist at the sender so far (a
+        proxy still fetching from the origin); None = all available."""
+        return self._available
+
+    @available.setter
+    def available(self, value: Optional[float]) -> None:
+        if value == self._available:
+            return
+        notify = self._on_available_change
+        if notify is not None:
+            notify()  # settle deliveries under the old limit first
+        self._available = value
+        if notify is not None:
+            notify()  # then re-predict completion under the new one
 
     @property
     def remaining(self) -> float:
@@ -118,6 +139,20 @@ class PathController(ABC):
                              connection: "MptcpConnection") -> None:
         """Called when a transfer finishes."""
 
+    def next_decision(self, now: float, transfer: Optional[Transfer],
+                      connection: "MptcpConnection") -> Optional[float]:
+        """Absolute time of this controller's next scheduled evaluation.
+
+        Under the event-driven kernel :meth:`on_tick` runs at every kernel
+        wakeup (transfer start/completion, trace breakpoints, signal
+        arrivals) rather than on a fixed clock.  A controller whose
+        decision can flip *between* those points — e.g. a deadline
+        crossing — returns the time it wants to be woken; ``None`` means
+        the natural wakeups suffice.  Controllers that genuinely need
+        dense polling should run under ``kernel="tick"``.
+        """
+        return None
+
 
 class MptcpConnection:
     """A multipath TCP connection over simulated paths."""
@@ -128,11 +163,27 @@ class MptcpConnection:
                  estimator_factory: Optional[Callable[[], ThroughputEstimator]] = None,
                  signaling_delay: Optional[float] = None,
                  activity_bin: float = 0.1,
-                 subflow_reestablish: bool = False):
+                 subflow_reestablish: bool = False,
+                 kernel: str = "fast"):
         """``subflow_reestablish`` switches from MP-DASH's skip-in-scheduler
         semantics to the add/remove-subflow alternative: disabled paths are
         torn down and pay a 1.5-RTT handshake plus a congestion restart
-        when re-enabled (the §6 design-choice ablation)."""
+        when re-enabled (the §6 design-choice ablation).
+
+        ``kernel`` selects the simulation strategy:
+
+        * ``"fast"`` (default) — event-driven analytic kernel: the
+          connection predicts its next decision point (transfer
+          completion, trace breakpoint, signal arrival, controller
+          wakeup), schedules exactly one event there, and advances each
+          subflow in closed form across the quiescent interval.
+        * ``"tick"`` — the reference implementation: a fixed
+          ``tick_interval`` clock advancing every subflow each firing.
+
+        Both kernels produce the same QoE/deadline/energy results up to a
+        small O(tick_interval) discretization difference; the parity suite
+        pins the tolerance.
+        """
         if not paths:
             raise ValueError("an MPTCP connection needs at least one path")
         names = [p.name for p in paths]
@@ -177,7 +228,27 @@ class MptcpConnection:
         self._transfer_count = 0
         self._active: Optional[Transfer] = None
         self._activating = False
-        self._ticker = sim.call_every(tick_interval, self._on_tick)
+        if kernel not in ("fast", "tick"):
+            raise ValueError(f"unknown kernel {kernel!r} "
+                             f"(known: fast, tick)")
+        self.kernel = kernel
+        self._closed = False
+        # True while inside a kernel callback (controller step, predict)
+        # where the watermark is known current: readers skip re-syncing.
+        self._stepping = False
+        if kernel == "tick":
+            self._ticker = sim.call_every(tick_interval, self._on_tick)
+            self._timer = None
+        else:
+            self._ticker = None
+            self._timer = Timer(sim, self._wake)
+            # Watermark: subflow state is exact as of this instant; spans
+            # up to ``sim.now`` are advanced lazily on demand.
+            self._advanced_to = sim.now
+            self._advancing = False
+            # Cached completion prediction (absolute time), invalidated by
+            # any event that changes delivery rates or the byte goal.
+            self._completion: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Transfers
@@ -207,6 +278,10 @@ class MptcpConnection:
 
     def _begin(self, transfer: Transfer) -> None:
         self._activating = False
+        if self._closed:
+            return
+        if self._timer is not None:
+            self._advance_to(self.sim.now)
         transfer.started_at = self.sim.now
         self._active = transfer
         self.bus.publish(TransferStarted(
@@ -214,6 +289,11 @@ class MptcpConnection:
             self.id))
         if self.controller is not None:
             self.controller.on_transfer_start(self.sim.now, transfer, self)
+        if self._timer is not None:
+            transfer._on_available_change = self._on_available_bump
+            self._completion = None
+            self._controller_step()
+            self._predict()
 
     @property
     def active_transfer(self) -> Optional[Transfer]:
@@ -236,10 +316,28 @@ class MptcpConnection:
             self.bus.publish(PathStateRequested(self.sim.now, name, enabled,
                                                 self.id))
         self._signals[name].send(self.sim.now, enabled)
+        # The arrival of this signal is a decision point: re-predict so the
+        # kernel wakes exactly when the server-side state flips.  During a
+        # controller step the wake's trailing predict covers every signal
+        # sent in the batch; re-predicting per call would triple the
+        # prediction work for nothing.
+        if (self._timer is not None and not self._closed
+                and not self._advancing and not self._stepping):
+            self._advance_to(self.sim.now)
+            self._predict()
 
     def path_state(self, name: str) -> bool:
         """Server-side effective enabled-state of ``name`` right now."""
         return self._signals[name].current(self.sim.now)
+
+    def path_capacity(self, name: str) -> float:
+        """Instantaneous post-throttle link capacity (bytes/second).
+
+        Ground truth from the trace, not an estimate.  Controllers use it
+        only to decide *when* to re-evaluate (the estimator lags reality
+        after a capacity change); decisions themselves stay estimate-based.
+        """
+        return self.subflow(name).path.bandwidth_at(self.sim.now)
 
     def subflow(self, name: str) -> Subflow:
         try:
@@ -256,6 +354,8 @@ class MptcpConnection:
     # ------------------------------------------------------------------
     def throughput_estimate(self, name: str) -> Optional[float]:
         """Estimated throughput of one subflow (bytes/second)."""
+        if not self._stepping:
+            self._sync_state()
         return self.subflow(name).throughput_estimate()
 
     def aggregate_throughput_estimate(self) -> Optional[float]:
@@ -265,6 +365,8 @@ class MptcpConnection:
         available network resources, not just what MP-DASH happens to be
         using this instant.
         """
+        if not self._stepping:
+            self._sync_state()
         estimates = [sf.throughput_estimate() for sf in self.subflows]
         known = [e for e in estimates if e is not None]
         if not known:
@@ -332,16 +434,326 @@ class MptcpConnection:
                     self.request_path_state(name, enabled)
 
     def _finish(self, transfer: Transfer) -> None:
-        transfer.finished_at = self.sim.now
+        # Under the fast kernel the last byte lands at the watermark (the
+        # solved completion instant), which normally coincides with
+        # ``sim.now`` because the wakeup was scheduled there.
+        now = self._advanced_to if self._timer is not None else self.sim.now
+        transfer.finished_at = now
+        transfer._on_available_change = None
         self._active = None
+        if self._timer is not None:
+            self._completion = None
         self.bus.publish(TransferCompleted(
-            self.sim.now, transfer.id, transfer.tag, transfer.total_bytes,
+            now, transfer.id, transfer.tag, transfer.total_bytes,
             transfer.duration() or 0.0, self.id))
         if self.controller is not None:
-            self.controller.on_transfer_complete(self.sim.now, transfer, self)
+            self.controller.on_transfer_complete(now, transfer, self)
         if transfer.on_complete is not None:
             transfer.on_complete(transfer)
         self._activate_next()
+
+    # ------------------------------------------------------------------
+    # Event-driven analytic kernel (kernel="fast")
+    # ------------------------------------------------------------------
+    # The connection keeps a watermark ``_advanced_to``: every subflow's
+    # TCP window, estimator, and byte counters are exact as of that
+    # instant.  Between decision points nothing is scheduled; when a
+    # wakeup (or any external reader) needs current state, the span since
+    # the watermark is advanced in closed form, split only at the
+    # boundaries across which delivery rates are constant: bandwidth-trace
+    # breakpoints, signal (DSS option) arrivals, reconnect completions,
+    # and the solved transfer-completion instant.
+
+    def sync(self) -> None:
+        """Advance lazy subflow state to ``sim.now`` and re-predict.
+
+        A no-op under the tick kernel; external readers (e.g. the 1 Hz
+        ``PathSampler``) call this before inspecting cwnd or estimates.
+        """
+        self._sync_state()
+        self._predict()
+
+    def _sync_state(self) -> None:
+        if self._timer is not None and not self._closed:
+            self._advance_to(self.sim.now)
+
+    def _wake(self) -> None:
+        """The single scheduled decision-point event."""
+        self._advance_to(self.sim.now)
+        self._stepping = True
+        try:
+            self._controller_step()
+            self._predict()
+        finally:
+            self._stepping = False
+
+    def _controller_step(self) -> None:
+        if self.controller is None or self._closed:
+            return
+        previous = self._stepping
+        self._stepping = True
+        try:
+            desired = self.controller.on_tick(self.sim.now, self._active,
+                                              self)
+            if desired:
+                for name, enabled in desired.items():
+                    self.request_path_state(name, enabled)
+        finally:
+            self._stepping = previous
+
+    def _on_available_bump(self) -> None:
+        """Sender-side availability changed (proxy fetch progress).
+
+        Called twice by the :class:`Transfer` setter: once before the new
+        value is applied (settling deliveries under the old limit) and
+        once after (re-predicting completion under the new one); both
+        calls are idempotent.
+        """
+        if self._closed or self._advancing:
+            return
+        self._advance_to(self.sim.now)
+        self._completion = None
+        self._predict()
+
+    def _apply_signals(self, now: float) -> None:
+        """Apply in-flight enable/disable decisions effective by ``now``."""
+        for subflow in self.subflows:
+            enabled = self._signals[subflow.name].current(now)
+            subflow.path.enabled = enabled
+            if enabled != self._effective[subflow.name]:
+                self._effective[subflow.name] = enabled
+                # The delivering set changed: any cached completion
+                # prediction is void.
+                self._completion = None
+                self.bus.publish(SubflowStateChange(now, subflow.name,
+                                                    enabled, self.id))
+            subflow.notice_state(now)
+
+    def _next_signal_arrival(self) -> float:
+        # Peeks the channels' queues directly: this runs on every sync
+        # precheck, so the next_arrival() call-and-None-check per channel
+        # is measurable overhead.
+        earliest = math.inf
+        for channel in self._signals.values():
+            queue = channel._in_flight
+            if queue and queue[0][0] < earliest:
+                earliest = queue[0][0]
+        return earliest
+
+    def _emit_bin(self, name: str, index: int, time: float,
+                  delivered: float) -> None:
+        """Merge an analytic delivery step into the open PacketSent bins."""
+        pending = self._open_bins.get(name)
+        if pending is None:
+            self._open_bins[name] = [index, time, delivered]
+        elif pending[0] == index:
+            pending[2] += delivered
+        else:
+            self.bus.publish(new_packet_sent(pending[1], name, pending[2],
+                                             self.id))
+            pending[0] = index
+            pending[1] = time
+            pending[2] = delivered
+
+    def _advance_to(self, target: float) -> None:
+        """Advance all subflow state from the watermark to ``target``.
+
+        Walks quiescent spans: within each span the enabled set and every
+        path's bandwidth are constant, so each subflow's delivery is a
+        closed-form integral.  Completion is solved exactly inside the
+        span that satisfies the transfer.
+        """
+        if self._advancing:
+            return
+        if (self._advanced_to >= target
+                and self._next_signal_arrival() > target):
+            # Already exact at ``target`` with nothing to apply: skip the
+            # walk entirely.  Readers like ``throughput_estimate`` sync on
+            # every call, so this no-op path is by far the most common.
+            return
+        self._advancing = True
+        try:
+            while True:
+                t0 = self._advanced_to
+                if t0 >= target - 1e-12:
+                    # Snap the sub-tolerance sliver: a signal arrival at
+                    # exactly ``target`` must drain even when the solved
+                    # watermark stopped a few ulps short of it, or the
+                    # prediction loop re-arms the same instant forever.
+                    if target > t0:
+                        self._advanced_to = t0 = target
+                    self._apply_signals(t0)
+                    break
+                # Apply before advancing: an arrival landing exactly on
+                # the watermark must take effect even on a no-op sync.
+                self._apply_signals(t0)
+                active = self._active
+                t_sig = self._next_signal_arrival()
+                if active is None:
+                    self._advanced_to = min(target, t_sig)
+                    continue
+                # Bound the span by everything that can change a rate.
+                t1 = min(target, t_sig)
+                senders = []
+                for sf in self.subflows:
+                    if not sf.path.enabled:
+                        continue
+                    after = sf.usable_after
+                    if t0 < after:
+                        if after < t1:
+                            t1 = after
+                        continue
+                    change = sf.path.next_change(t0)
+                    if change < t1:
+                        t1 = change
+                    senders.append(sf)
+                span = t1 - t0
+                sendable = active.sendable
+                if not senders or sendable <= _EPSILON:
+                    # Application-limited (or no usable path): windows keep
+                    # evolving but nothing is delivered.  Sub-epsilon
+                    # residues count as nothing: chasing them would predict
+                    # zero-length completion spans forever (``complete``
+                    # itself allows the same slack).
+                    for sf in senders:
+                        sf.grow_analytic(t0, t1)
+                    if t1 < target:
+                        self._completion = None
+                    self._advanced_to = t1
+                    continue
+                total = sum(sf.potential(t0, span) for sf in senders)
+                if total < sendable - _EPSILON:
+                    # The whole span flows at full potential.
+                    for sf in senders:
+                        delivered = sf.deliver_analytic(
+                            t0, t1, self._bin_width, self._emit_bin)
+                        active.add(sf.name, delivered)
+                    if t1 < target:
+                        self._completion = None
+                    self._advanced_to = t1
+                    if active.complete:
+                        self._finish(active)
+                    continue
+                # Everything sendable fits in this span: solve the exact
+                # instant the last byte lands and stop the flow there.
+                t_end = t0 + self._solve_span(senders, t0, span, sendable)
+                for sf in senders:
+                    delivered = sf.deliver_analytic(
+                        t0, t_end, self._bin_width, self._emit_bin)
+                    active.add(sf.name, delivered)
+                self._advanced_to = t_end
+                if active.complete:
+                    self._finish(active)
+                # Otherwise the sender is starved (proxy still fetching);
+                # the next iteration advances application-limited.
+        finally:
+            self._advancing = False
+
+    def _solve_span(self, senders: List[Subflow], t0: float, span: float,
+                    sendable: float) -> float:
+        """Seconds into the span at which combined delivery = sendable."""
+        if len(senders) == 1:
+            return min(senders[0].time_to_deliver(t0, sendable), span)
+        # Steady state: every sender pinned at its ceiling means delivery
+        # is linear at the combined rate — solve by division, not search.
+        total_rate = 0.0
+        for sf in senders:
+            rate = sf.steady_rate(t0)
+            if rate is None:
+                total_rate = -1.0
+                break
+            total_rate += rate
+        if total_rate > 0.0:
+            return min(sendable / total_rate, span)
+        # Bisection over the combined delivery integral.  Per-sender state
+        # is constant across iterations, so hoist the (idle-restarted)
+        # window and bandwidth once and call the pure integral directly;
+        # converge when the bracket is tighter than the completion slack
+        # in bytes (the same ``_EPSILON`` the byte accounting uses).
+        states = []
+        floor_rate = 0.0
+        for sf in senders:
+            cwnd, ssthresh = sf.tcp.window_after_restart(t0)
+            bw = sf.path.bandwidth_at(t0)
+            states.append((cwnd, ssthresh, sf.tcp.rtt, bw))
+            floor_rate += min(cwnd / sf.tcp.rtt, bw)
+        tolerance = max(1e-12, _EPSILON / max(floor_rate, 1.0))
+        lo, hi = 0.0, span
+        for _ in range(80):
+            mid = (lo + hi) / 2.0
+            total = 0.0
+            for cwnd, ssthresh, rtt, bw in states:
+                total += integrate_window(cwnd, ssthresh, rtt, bw,
+                                          dt_limit=mid)[0]
+            if total >= sendable:
+                hi = mid
+            else:
+                lo = mid
+            if hi - lo <= tolerance:
+                break
+        return hi
+
+    def _predict(self) -> None:
+        """Schedule the single wakeup at the next decision point."""
+        if self._timer is None or self._closed or self._advancing:
+            return
+        now = self._advanced_to
+        t_next = self._next_signal_arrival()
+        active = self._active
+        if active is not None and active.started_at is not None:
+            boundary = math.inf
+            senders = []
+            for sf in self.subflows:
+                if not sf.path.enabled:
+                    continue
+                after = sf.usable_after
+                if now < after:
+                    if after < boundary:
+                        boundary = after
+                    continue
+                change = sf.path.next_change(now)
+                if change < boundary:
+                    boundary = change
+                senders.append(sf)
+            if boundary < t_next:
+                t_next = boundary
+            sendable = active.sendable
+            if senders and sendable > _EPSILON:
+                if self._completion is None:
+                    self._completion = self._predict_completion(
+                        now, senders, sendable, t_next)
+                if self._completion is not None and self._completion < t_next:
+                    t_next = self._completion
+            if self.controller is not None:
+                wanted = self.controller.next_decision(self.sim.now, active,
+                                                       self)
+                if wanted is not None and wanted < t_next:
+                    t_next = wanted
+        self._timer.set(t_next if math.isfinite(t_next) else None)
+
+    def _predict_completion(self, now: float, senders: List[Subflow],
+                            sendable: float, bound: float) -> Optional[float]:
+        """Solve when the active transfer's sendable bytes finish landing.
+
+        Only valid while rates stay quiescent, so the solution is capped
+        at ``bound`` (the nearest rate-changing boundary); past it the
+        prediction is left uncached and re-solved at that boundary's
+        wakeup.  Returns an absolute time or None.
+        """
+        if len(senders) == 1:
+            finish = now + senders[0].time_to_deliver(now, sendable)
+            return finish if finish <= bound else None
+        if math.isinf(bound):
+            # Bracket with the fastest path carrying everything alone.
+            alone = min(sf.time_to_deliver(now, sendable) for sf in senders)
+            if math.isinf(alone):
+                return None
+            span = alone
+        else:
+            span = bound - now
+            if sum(sf.potential(now, span) for sf in senders) < sendable:
+                return None
+        return now + self._solve_span(senders, now, span, sendable)
 
     def flush_activity(self) -> None:
         """Publish any open per-path ``PacketSent`` aggregates.
@@ -358,9 +770,14 @@ class MptcpConnection:
         self._open_bins.clear()
 
     def close(self) -> None:
-        """Stop the tick loop (ends the connection's simulation activity)."""
+        """Stop the kernel (ends the connection's simulation activity)."""
+        if self._timer is not None:
+            self._sync_state()
+            self._timer.cancel()
+        else:
+            self._ticker.stop()
         self.flush_activity()
-        self._ticker.stop()
+        self._closed = True
 
     def __repr__(self) -> str:
         return (f"<MptcpConnection paths={self.path_names()} "

@@ -14,7 +14,7 @@ to readers one ``delay`` later, in write order.
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Tuple
+from typing import Any, Deque, Optional, Tuple
 
 
 class SignalChannel:
@@ -46,6 +46,17 @@ class SignalChannel:
     def pending(self) -> int:
         """Number of in-flight (not yet effective) writes."""
         return len(self._in_flight)
+
+    def next_arrival(self) -> Optional[float]:
+        """Absolute time the earliest in-flight write becomes visible.
+
+        ``None`` when nothing is in flight.  This is a decision point for
+        the event-driven kernel: between now and the returned instant the
+        reader-visible value cannot change.
+        """
+        if not self._in_flight:
+            return None
+        return self._in_flight[0][0]
 
     def __repr__(self) -> str:
         return (f"<SignalChannel current={self._current!r} "

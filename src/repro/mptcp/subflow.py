@@ -96,6 +96,140 @@ class Subflow:
             return 0.0
         return self.tcp.advance(now, dt, self.path.bandwidth_at(now), sending)
 
+    # ------------------------------------------------------------------
+    # Analytic span interface (event-driven kernel)
+    # ------------------------------------------------------------------
+    def usable(self, now: float) -> bool:
+        """Whether the scheduler may place bytes here right now."""
+        return self._usable(now)
+
+    @property
+    def usable_after(self) -> float:
+        """Earliest time a re-established subflow becomes usable again."""
+        return self._usable_after
+
+    def potential(self, now: float, dt: float) -> float:
+        """Pure closed-form bytes this subflow could carry in ``dt`` seconds.
+
+        Assumes the bandwidth holding at ``now`` stays constant — callers
+        bound ``dt`` by the next trace breakpoint.  Unlike
+        :meth:`deliverable` (one tick at the instantaneous rate) this
+        integrates the full window trajectory, so it is exact over long
+        quiescent spans.
+        """
+        if dt <= 0 or not self._usable(now):
+            return 0.0
+        return self.tcp.potential_bytes(now, dt, self.path.bandwidth_at(now))
+
+    def time_to_deliver(self, now: float, target_bytes: float) -> float:
+        """Pure: seconds of continuous sending to carry ``target_bytes``."""
+        if not self._usable(now):
+            return float("inf")
+        return self.tcp.time_to_deliver(now, target_bytes,
+                                        self.path.bandwidth_at(now))
+
+    def steady_rate(self, now: float) -> Optional[float]:
+        """Constant delivery rate while provably pinned, else None.
+
+        See :meth:`~repro.net.tcp.TcpState.pinned_rate`; the connection's
+        completion solver uses it to replace bisection with an exact
+        division when every sender is in steady state.
+        """
+        if not self._usable(now):
+            return None
+        return self.tcp.pinned_rate(now, self.path.bandwidth_at(now))
+
+    def deliver_analytic(self, start: float, end: float, bin_width: float,
+                         emit) -> float:
+        """Commit continuous network-limited sending over ``[start, end]``.
+
+        Advances the TCP window in closed form, feeds the throughput
+        estimator one sample per ``_sample_interval`` of busy time (the
+        same cadence :meth:`account` produces under the tick kernel), and
+        reports per-activity-bin byte totals through
+        ``emit(name, bin_index, bin_start_time, bytes)``.  Returns the
+        total bytes delivered.  Bandwidth is read once at ``start``;
+        callers bound the span by the next trace breakpoint.
+        """
+        if end <= start:
+            return 0.0
+        tcp = self.tcp
+        bw = self.path.bandwidth_at(start)
+        total = 0.0
+        t = start
+        index = int(start / bin_width)
+        interval = self._sample_interval
+        while t < end - 1e-12:
+            # Once the window is pinned at the ceiling it stays there for
+            # the rest of the span (bandwidth is constant within it), so
+            # the remainder is linear delivery at ``bw``: walk it one
+            # activity bin at a time, folding the estimator's busy-time
+            # samples in closed form instead of splitting steps at every
+            # sample boundary.
+            if tcp.pinned_rate(t, bw) is not None:
+                estimator = self.estimator
+                while t < end - 1e-12:
+                    bin_end = (index + 1) * bin_width
+                    step_end = bin_end if bin_end < end else end
+                    dt = step_end - t
+                    delta = bw * dt
+                    self.total_bytes += delta
+                    total += delta
+                    if delta > 0:
+                        busy = self._sample_busy + dt
+                        if busy >= interval - 1e-12:
+                            head = interval - self._sample_busy
+                            estimator.update((self._sample_bytes
+                                              + bw * head) / interval)
+                            busy -= interval
+                            while busy >= interval - 1e-12:
+                                estimator.update(bw)
+                                busy -= interval
+                            self._sample_busy = busy if busy > 0.0 else 0.0
+                            self._sample_bytes = bw * self._sample_busy
+                        else:
+                            self._sample_busy = busy
+                            self._sample_bytes += delta
+                        emit(self.name, index, t, delta)
+                    t = step_end
+                    if step_end >= bin_end - 1e-12:
+                        index += 1
+                tcp.last_send_time = end
+                return total
+            bin_end = (index + 1) * bin_width
+            sample_end = t + (interval - self._sample_busy)
+            step_end = min(end, bin_end, sample_end)
+            dt = step_end - t
+            delta = tcp.advance_analytic(t, dt, bw)
+            self.total_bytes += delta
+            total += delta
+            if delta > 0:
+                # Always network-limited: the span runs at full potential.
+                self._sample_bytes += delta
+                self._sample_busy += dt
+                if self._sample_busy >= interval - 1e-12:
+                    self.estimator.update(self._sample_bytes
+                                          / self._sample_busy)
+                    self._sample_bytes = 0.0
+                    self._sample_busy = 0.0
+                emit(self.name, index, t, delta)
+            t = step_end
+            if step_end >= bin_end - 1e-12:
+                index += 1
+        return total
+
+    def grow_analytic(self, start: float, end: float) -> None:
+        """Advance the window over an application-limited span.
+
+        Matches the tick kernel's behaviour when a transfer is active but
+        has nothing sendable: the window keeps evolving and the send clock
+        stays warm, yet no bytes are delivered and no samples are formed.
+        """
+        if end <= start or not self._usable(start):
+            return
+        self.tcp.advance_analytic(start, end - start,
+                                  self.path.bandwidth_at(start))
+
     def account(self, delivered: float, dt: float,
                 budget: Optional[float] = None) -> None:
         """Record ``delivered`` bytes carried during a tick of ``dt``.

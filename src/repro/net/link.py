@@ -55,6 +55,16 @@ class Path:
             rate = min(rate, self.throttle)
         return rate
 
+    def next_change(self, time: float) -> float:
+        """Absolute time the post-throttle bandwidth next changes.
+
+        Delegates to the trace's breakpoint iterator.  Under a throttle a
+        trace-level change may leave the clipped rate unchanged; callers
+        treat such wakeups as harmless no-ops rather than paying a
+        scan-ahead here.
+        """
+        return self.trace.next_change(time)
+
     def mean_bandwidth(self) -> float:
         rate = self.trace.mean_bandwidth()
         if self.throttle is not None:

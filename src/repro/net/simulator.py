@@ -132,17 +132,21 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        # Local bindings shave attribute lookups off the hot loop; compact()
+        # rebuilds the heap in place so the alias stays valid.
+        heap = self._heap
+        heappop = heapq.heappop
         try:
-            while self._heap:
-                event = self._heap[0]
+            while heap:
+                event = heap[0]
                 if event.cancelled:
-                    heapq.heappop(self._heap)
+                    heappop(heap)
                     event._sim = None
                     self._cancelled -= 1
                     continue
                 if until is not None and event.time > until:
                     break
-                heapq.heappop(self._heap)
+                heappop(heap)
                 event._sim = None
                 if event.time < self.now - 1e-12:
                     raise SimulationError(
@@ -186,7 +190,8 @@ class Simulator:
         """
         if self._cancelled == 0:
             return
-        self._heap = [e for e in self._heap if not e.cancelled]
+        # In place (not a rebind) so aliases held by the run loop stay live.
+        self._heap[:] = [e for e in self._heap if not e.cancelled]
         heapq.heapify(self._heap)
         self._cancelled = 0
 
@@ -226,3 +231,77 @@ class PeriodicProcess:
         # Re-arm first so the callback may call stop() to halt the process.
         self._event = self._sim.schedule(self.interval, self._fire)
         self._callback(*self._args)
+
+
+class Timer:
+    """A single re-targetable wakeup that avoids heap churn.
+
+    The event-driven kernel re-predicts its next decision point on every
+    state change, which would naively mean one cancel + one push per
+    prediction.  A :class:`Timer` keeps exactly one outstanding heap entry:
+
+    * moving the target *earlier* pushes a fresh event (the stale one is
+      cancelled and lazily dropped);
+    * moving it *later* — the overwhelmingly common case, as predictions
+      are refined while downloads progress — touches nothing; the stale
+      event fires, notices the target has moved, and re-arms itself at the
+      true target.
+
+    One-shot semantics: after the callback runs, the timer is disarmed
+    until :meth:`set` is called again (typically by the callback itself).
+    """
+
+    __slots__ = ("_sim", "_callback", "_event", "_target")
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._target: Optional[float] = None
+
+    @property
+    def target(self) -> Optional[float]:
+        """Absolute time of the pending wakeup, or None when disarmed."""
+        return self._target
+
+    @property
+    def active(self) -> bool:
+        return self._target is not None
+
+    def set(self, time: Optional[float]) -> None:
+        """Arm (or re-target) the wakeup at absolute simulated ``time``.
+
+        ``None`` disarms.  Times at or before the clock fire as soon as the
+        run loop resumes.
+        """
+        if time is None:
+            self.cancel()
+            return
+        self._target = time
+        if self._event is not None and not self._event.cancelled:
+            if self._event.time <= time:
+                return  # the pending event fires first and re-arms lazily
+            self._event.cancel()
+        delay = time - self._sim.now
+        self._event = self._sim.schedule(delay if delay > 0.0 else 0.0,
+                                         self._fire)
+
+    def cancel(self) -> None:
+        """Disarm.  Idempotent."""
+        self._target = None
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        target = self._target
+        if target is None:
+            return
+        if target > self._sim.now + 1e-9:
+            # The target moved later after this event was pushed; re-arm.
+            self._event = self._sim.schedule(target - self._sim.now,
+                                             self._fire)
+            return
+        self._target = None
+        self._callback()

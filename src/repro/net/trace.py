@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import bisect
 import math
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import numpy as np
 
@@ -47,6 +47,9 @@ class BandwidthTrace:
         self._times = list(times)
         self._rates = list(rates)
         self.loop = loop
+        # Offsets (within one period) where the rate actually changes;
+        # computed lazily because constructors mutate ``duration`` afterwards.
+        self._changes: Optional[list] = None
         # Duration of the recorded portion; only meaningful when looping or
         # when the caller treats the trace as finite.
         if len(times) > 1:
@@ -191,6 +194,54 @@ class BandwidthTrace:
         if index < 0:
             index = 0
         return self._rates[index]
+
+    def _change_points(self) -> list:
+        """Offsets within one period at which the rate *actually* changes.
+
+        Boundaries between equal-rate segments are dropped, so a trace built
+        from identical samples reports no breakpoints at all.  For looping
+        traces the wrap-around (``duration``) counts as a change when the
+        last and first rates differ.
+        """
+        if self._changes is None:
+            changes = [t for prev, rate, t in
+                       zip(self._rates, self._rates[1:], self._times[1:])
+                       if rate != prev]
+            if (self.loop and math.isfinite(self.duration)
+                    and self._rates[-1] != self._rates[0]):
+                changes.append(self.duration)
+            self._changes = changes
+        return self._changes
+
+    def next_change(self, time: float) -> float:
+        """Absolute time of the first rate change strictly after ``time``.
+
+        Returns ``math.inf`` when the rate never changes again (constant
+        traces, non-looping traces past their last breakpoint, or traces
+        whose samples all share one value).  This is the breakpoint iterator
+        the event-driven kernel walks: between ``time`` and the returned
+        instant, :meth:`bandwidth_at` is guaranteed constant.
+        """
+        if time < 0:
+            raise ValueError(f"time cannot be negative: {time!r}")
+        changes = self._change_points()
+        if not changes:
+            return math.inf
+        looping = self.loop and math.isfinite(self.duration) and self.duration > 0
+        if not looping:
+            index = bisect.bisect_right(changes, time)
+            return changes[index] if index < len(changes) else math.inf
+        offset = time % self.duration
+        base = time - offset
+        index = bisect.bisect_right(changes, offset)
+        if index < len(changes):
+            return base + changes[index]
+        return base + self.duration + changes[0]
+
+    def segment(self, time: float) -> tuple:
+        """``(rate, until)``: the rate holding at ``time`` and the absolute
+        time it next changes (``math.inf`` if never)."""
+        return self.bandwidth_at(time), self.next_change(time)
 
     def mean_bandwidth(self) -> float:
         """Time-weighted mean bandwidth over one recorded period."""

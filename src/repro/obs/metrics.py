@@ -704,6 +704,13 @@ class PathSampler:
     def _sample(self) -> None:
         sim = self._sim
         connection = self._connection
+        # Deliberately reads without advancing the connection: under the
+        # event-driven kernel the snapshot is the state as of the last
+        # decision point (at most one quiescent span stale — exact
+        # whenever a transfer is in flight).  Forcing an advance here
+        # would split analytic spans at sampling instants and perturb the
+        # simulation at float precision, breaking the attach-a-collector-
+        # changes-nothing guarantee.
         bus = sim.bus
         now = sim.now
         for subflow in connection.subflows:

@@ -1,0 +1,200 @@
+"""Tick-vs-fast kernel parity: same story, different clocks.
+
+The event-driven kernel replaces the 10 ms tick loop with predicted
+decision points and closed-form span advancement.  Both kernels
+integrate the same fluid TCP model, so every outcome the paper's
+figures are built from must agree.  The tolerance contract:
+
+* **Exact** — discrete outcomes: chunk count, per-chunk quality levels
+  (and therefore mean bitrate and switch count), stall count, deadline
+  misses, and invariant verdicts.  A kernel that changed any of these
+  would change the paper's conclusions.
+* **O(tick_interval)** — continuous quantities: the tick kernel
+  quantizes completions to 10 ms grid points while the fast kernel
+  resolves them exactly, so event timestamps differ by a few ticks and
+  anything integrated from them inherits that error.  Startup delay
+  and stall time agree within 50 ms, byte split (cellular fraction)
+  within 0.05 absolute, energy within 5 % relative.
+
+The grid below deliberately sits away from ABR/scheduler decision
+boundaries: at a knife edge a few milliseconds of completion-time
+difference can legitimately flip a discrete decision, after which the
+two runs tell different (both valid) stories.  That is a property of
+the feedback loop, not a kernel bug.
+
+Scheduler *flip counts* (enable/disable events) are intentionally not
+compared: the tick kernel re-evaluates Algorithm 1 every 10 ms and
+may oscillate around the threshold, while the fast kernel evaluates
+only at predicted crossings.  The resulting byte split and deadline
+outcomes — the quantities the paper reports — are asserted instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.experiments import SessionConfig, run_session
+from repro.experiments.configs import FileDownloadConfig
+from repro.experiments.runner import run_file_download
+from repro.net.trace import BandwidthTrace, mbps
+
+#: Documented tolerances (see module docstring).
+STARTUP_TOL = 0.05       # seconds, O(tick_interval) completion skew
+STALL_TIME_TOL = 0.05    # seconds
+CELLULAR_FRAC_TOL = 0.05  # absolute fraction of bytes
+ENERGY_REL_TOL = 0.05    # relative
+DURATION_TOL = 0.5       # seconds of session wall-clock
+
+
+def _grid():
+    wander = BandwidthTrace.random_walk(mean_bytes_per_s=mbps(4.0),
+                                        sigma_fraction=0.3, duration=200.0,
+                                        interval=1.0, seed=7)
+    return [
+        ("vanilla-mptcp", dict(mpdash=False, wifi_mbps=3.8, lte_mbps=3.0)),
+        ("mpdash-rate", dict(mpdash=True, deadline_mode="rate",
+                             wifi_mbps=3.8, lte_mbps=3.0)),
+        ("mpdash-duration", dict(mpdash=True, deadline_mode="duration",
+                                 wifi_mbps=3.8, lte_mbps=3.0)),
+        ("bba-abr", dict(abr="bba", mpdash=True, deadline_mode="rate",
+                         wifi_mbps=3.8, lte_mbps=3.0)),
+        ("wandering-wifi", dict(mpdash=True, deadline_mode="rate",
+                                wifi_trace=wander, lte_mbps=3.0)),
+        ("scarce-bandwidth", dict(mpdash=True, deadline_mode="rate",
+                                  wifi_mbps=1.2, lte_mbps=1.0)),
+        ("subflow-reestablish", dict(mpdash=True, deadline_mode="rate",
+                                     wifi_mbps=3.8, lte_mbps=3.0,
+                                     subflow_reestablish=True)),
+        ("mpc-wifi-only", dict(abr="mpc", mpdash=False, wifi_mbps=2.8,
+                               wifi_only=True)),
+    ]
+
+
+def _run(kernel: str, **overrides):
+    base = dict(video="big_buck_bunny", abr="festive", video_duration=80.0)
+    base.update(overrides)
+    return run_session(SessionConfig(kernel=kernel, **base), check=True)
+
+
+def _pair(**overrides):
+    return _run("tick", **overrides), _run("fast", **overrides)
+
+
+class TestSessionParity:
+    @pytest.mark.parametrize("name,overrides",
+                             _grid(), ids=[n for n, _ in _grid()])
+    def test_qoe_and_energy_agree(self, name, overrides):
+        tick, fast = _pair(**overrides)
+        mt, mf = tick.metrics, fast.metrics
+
+        # Exact discrete outcomes.
+        assert mf.chunk_count == mt.chunk_count
+        assert mf.levels == mt.levels
+        assert mf.quality_switches == mt.quality_switches
+        assert mf.mean_bitrate == pytest.approx(mt.mean_bitrate)
+        assert mf.stall_count == mt.stall_count
+
+        # O(tick_interval) continuous quantities.
+        assert mf.total_stall_time == pytest.approx(
+            mt.total_stall_time, abs=STALL_TIME_TOL)
+        assert mf.startup_delay == pytest.approx(
+            mt.startup_delay, abs=STARTUP_TOL)
+        assert fast.session_duration == pytest.approx(
+            tick.session_duration, abs=DURATION_TOL)
+        assert mf.cellular_fraction == pytest.approx(
+            mt.cellular_fraction, abs=CELLULAR_FRAC_TOL)
+        assert mf.energy_total == pytest.approx(
+            mt.energy_total, rel=ENERGY_REL_TOL)
+
+    @pytest.mark.parametrize("name,overrides",
+                             _grid(), ids=[n for n, _ in _grid()])
+    def test_deadline_misses_agree(self, name, overrides):
+        tick, fast = _pair(**overrides)
+        st, sf = tick.scheduler_stats, fast.scheduler_stats
+        assert sf.get("deadline_misses") == st.get("deadline_misses")
+
+    @pytest.mark.parametrize("name,overrides",
+                             _grid(), ids=[n for n, _ in _grid()])
+    def test_invariant_verdicts_agree(self, name, overrides):
+        tick, fast = _pair(**overrides)
+        assert tick.check_report.ok
+        assert fast.check_report.ok
+        assert set(fast.check_report.by_checker()) == \
+            set(tick.check_report.by_checker())
+
+
+class TestSeededFaultParity:
+    """The monitor must flag a broken scheduler identically under both
+    kernels — same fault pattern as test_determinism's seeded trace."""
+
+    def _faulty_run(self, kernel: str):
+        from repro.core.scheduler import DeadlineAwareScheduler
+
+        orig = DeadlineAwareScheduler.on_transfer_start
+
+        def faulty(scheduler, now, transfer, conn):
+            orig(scheduler, now, transfer, conn)
+            if scheduler.active:  # Algorithm 1 broken: everything off
+                for name in conn.path_names():
+                    conn.request_path_state(name, False)
+
+        DeadlineAwareScheduler.on_transfer_start = faulty
+        try:
+            return _run(kernel, mpdash=True, deadline_mode="rate",
+                        wifi_mbps=3.8, lte_mbps=3.0)
+        finally:
+            DeadlineAwareScheduler.on_transfer_start = orig
+
+    def test_both_kernels_flag_path_control(self):
+        tick = self._faulty_run("tick")
+        fast = self._faulty_run("fast")
+        assert not tick.check_report.ok
+        assert not fast.check_report.ok
+        assert set(tick.check_report.by_checker()) == {"path-control"}
+        assert set(fast.check_report.by_checker()) == {"path-control"}
+
+
+class TestFileDownloadParity:
+    @pytest.mark.parametrize("size,deadline", [
+        (8e6, 30.0),   # comfortable: WiFi alone meets it
+        (20e6, 10.0),  # impossible: both paths flat out, still missed
+    ])
+    def test_download_outcomes_agree(self, size, deadline):
+        results = {}
+        for kernel in ("tick", "fast"):
+            results[kernel] = run_file_download(
+                FileDownloadConfig(size=size, deadline=deadline,
+                                   kernel=kernel))
+        tick, fast = results["tick"], results["fast"]
+        assert fast.missed_deadline == tick.missed_deadline
+        assert fast.duration == pytest.approx(tick.duration, abs=0.1)
+        assert fast.cellular_fraction == pytest.approx(
+            tick.cellular_fraction, abs=CELLULAR_FRAC_TOL)
+
+
+class TestFastIsDefault:
+    """Acceptance: the parity suite passes with ``kernel="fast"`` as the
+    default — so the default had better be "fast"."""
+
+    def test_session_config_default(self):
+        config = SessionConfig(video="big_buck_bunny", abr="festive",
+                               wifi_mbps=3.8, lte_mbps=3.0)
+        assert config.kernel == "fast"
+
+    def test_file_download_config_default(self):
+        config = FileDownloadConfig(size=1e6, deadline=10.0)
+        assert config.kernel == "fast"
+
+    def test_explicit_kernel_matches_default(self):
+        overrides = dict(mpdash=True, deadline_mode="rate",
+                         wifi_mbps=3.8, lte_mbps=3.0)
+        default = _run("fast", **overrides)
+        base = dict(video="big_buck_bunny", abr="festive",
+                    video_duration=80.0)
+        base.update(overrides)
+        implicit = run_session(SessionConfig(**base), check=True)
+        assert implicit.metrics.levels == default.metrics.levels
+        assert dataclasses.asdict(implicit.metrics) == \
+            dataclasses.asdict(default.metrics)
