@@ -20,6 +20,8 @@ equivalent entry point, plus runners for the common experiments::
     python -m repro report --load run.jsonl --out report.html
     python -m repro sweep --schemes baseline,rate --live --report sweep.html
     python -m repro bench --load BENCH_ci.json --html bench.html
+    python -m repro fleet --sessions 1000 --arrival diurnal --jobs 4 \
+        --checkpoint-dir .fleet --report fleet.html
     python -m repro locations
     python -m repro videos
 
@@ -41,18 +43,20 @@ from .abr import abr_names
 from .analysis.metrics import SessionMetrics
 from .analysis.report import session_report
 from .core.deadlines import DEADLINE_MODES, RATE_BASED
-from .experiments import (BASELINE, DURATION, FileDownloadConfig, RATE,
-                          SessionConfig, expand_grid, run_file_download,
-                          run_schemes, run_session, run_sweep)
-from .experiments.tables import format_table, pct, sweep_table
-from .obs import (BenchReport, EventBus, SweepDashboard, SweepRunFailed,
+from .experiments import (BASELINE, DURATION, FileDownloadConfig, FleetConfig,
+                          RATE, SessionConfig, expand_grid, run_file_download,
+                          run_fleet, run_schemes, run_session, run_sweep)
+from .experiments.tables import fleet_table, format_table, pct, sweep_table
+from .obs import (BenchReport, EventBus, FleetCheckpointSaved,
+                  FleetShardCompleted, SweepDashboard, SweepRunFailed,
                   SweepRunFinished, Trace, bench_report_html, check_trace,
                   compare_reports, dump_chrome_trace, dump_jsonl,
                   load_jsonl, metrics_from_trace, registry_from_trace,
                   render_span_tree, run_bench, session_report_html,
                   spans_from_trace, stock_checkers, write_report)
 from .obs.spans import spans_to_dicts
-from .workloads import VIDEO_LADDERS, field_study_locations, video_names
+from .workloads import (ARRIVAL_MODELS, VIDEO_LADDERS,
+                        field_study_locations, video_names)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -263,6 +267,59 @@ def build_parser() -> argparse.ArgumentParser:
                              "instead of running a session")
     report.add_argument("--out", metavar="FILE", default="report.html",
                         help="output path (default: report.html)")
+
+    fleet = commands.add_parser(
+        "fleet", help="simulate a fleet-scale session population in "
+                      "bounded memory, with checkpoints")
+    fleet.add_argument("--sessions", type=int, default=1000,
+                       help="fleet size (sessions drawn from the "
+                            "workload model)")
+    fleet.add_argument("--arrival", default="poisson",
+                       choices=list(ARRIVAL_MODELS),
+                       help="session-arrival model")
+    fleet.add_argument("--horizon", type=float, default=86400.0,
+                       help="campaign window, seconds (arrivals land "
+                            "inside it)")
+    fleet.add_argument("--seed", type=int, default=0,
+                       help="workload seed: same seed, byte-identical "
+                            "population registry")
+    fleet.add_argument("--video", default="big_buck_bunny",
+                       choices=video_names())
+    fleet.add_argument("--abr", default="festive", choices=abr_names())
+    fleet.add_argument("--scheme", default=RATE,
+                       choices=list((BASELINE, DURATION, RATE)),
+                       help="evaluation scheme applied to every session")
+    fleet.add_argument("--duration", type=float, default=60.0,
+                       help="video length per session, seconds")
+    fleet.add_argument("--wifi-only-fraction", type=float, default=0.05,
+                       metavar="F",
+                       help="fraction of sessions without a cellular path")
+    fleet.add_argument("--shard-size", type=int, default=50, metavar="N",
+                       help="sessions per shard (memory/progress "
+                            "granularity)")
+    fleet.add_argument("--kernel", default="fast",
+                       choices=("fast", "tick"),
+                       help="simulation kernel for every session")
+    fleet.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (1 = in-process)")
+    fleet.add_argument("--retries", type=int, default=1,
+                       help="retries per shard after a worker crash")
+    fleet.add_argument("--checkpoint-dir", default=None, metavar="DIR",
+                       help="directory for atomic progress checkpoints")
+    fleet.add_argument("--checkpoint-every", type=int, default=10,
+                       metavar="N", help="checkpoint every N shards")
+    fleet.add_argument("--resume", action="store_true",
+                       help="resume from the checkpoint in "
+                            "--checkpoint-dir")
+    fleet.add_argument("--stop-after", type=int, default=None, metavar="N",
+                       help="simulate at most N new shards this "
+                            "invocation (deterministic partial run)")
+    fleet.add_argument("--json", action="store_true",
+                       help="machine-readable report (population + "
+                            "registry) instead of the table")
+    fleet.add_argument("--report", metavar="FILE", default=None,
+                       help="write the self-contained HTML population "
+                            "report to FILE")
 
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
@@ -778,6 +835,57 @@ def cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run (or resume) a fleet campaign and report its population.
+
+    Exit status: 0 on a completed (or deliberately ``--stop-after``
+    bounded) campaign, 1 when the engine gave up on a shard, 2 on bad
+    arguments or a checkpoint belonging to a different campaign.
+    """
+    try:
+        config = FleetConfig(
+            sessions=args.sessions, arrival=args.arrival,
+            horizon=args.horizon, seed=args.seed, video=args.video,
+            abr=args.abr, scheme=args.scheme,
+            video_duration=args.duration,
+            wifi_only_fraction=args.wifi_only_fraction,
+            shard_size=args.shard_size, kernel=args.kernel)
+    except ValueError as exc:
+        print(f"repro fleet: {exc}", file=sys.stderr)
+        return 2
+
+    bus = EventBus()
+    if not args.json:
+        total = config.total_shards
+        bus.subscribe(FleetShardCompleted, lambda e: print(
+            f"[{e.time:8.2f}s] shard {e.shard + 1}/{total} "
+            f"({e.sessions} sessions, {e.failures} failed) "
+            f"in {e.elapsed:.2f}s", file=sys.stderr))
+        bus.subscribe(FleetCheckpointSaved, lambda e: print(
+            f"[{e.time:8.2f}s] checkpoint @ {e.shards_done} shards "
+            f"-> {e.path}", file=sys.stderr))
+    try:
+        result = run_fleet(
+            config, jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every=args.checkpoint_every, resume=args.resume,
+            stop_after=args.stop_after, retries=args.retries, bus=bus)
+    except ValueError as exc:
+        print(f"repro fleet: {exc}", file=sys.stderr)
+        return 2
+    except RuntimeError as exc:
+        print(f"repro fleet: {exc}", file=sys.stderr)
+        return 1
+
+    if args.json:
+        print(json.dumps(result.to_dict(), sort_keys=True))
+    else:
+        print(fleet_table(result), file=sys.stderr)
+    if args.report is not None:
+        result.export_report(args.report)
+        print(f"fleet report written to {args.report}", file=sys.stderr)
+    return 0
+
+
 def cmd_locations(_args: argparse.Namespace) -> int:
     rows = [[loc.name, loc.scenario, loc.wifi_mbps, loc.wifi_rtt_ms,
              loc.lte_mbps, loc.lte_rtt_ms]
@@ -810,6 +918,7 @@ _COMMANDS = {
     "check": cmd_check,
     "bench": cmd_bench,
     "report": cmd_report,
+    "fleet": cmd_fleet,
     "locations": cmd_locations,
     "videos": cmd_videos,
 }

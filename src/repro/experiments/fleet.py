@@ -1,0 +1,634 @@
+"""Fleet-scale session campaigns: population distributions in bounded memory.
+
+MP-DASH's headline results (§5-6) are *population* claims — QoE,
+cellular-byte savings, and deadline-miss rates over many users at many
+locations — while :func:`~repro.experiments.runner.run_session` simulates
+one session and :func:`~repro.experiments.sweep.run_sweep` one config
+grid.  This module closes that gap with three pieces:
+
+* a **workload**: :class:`~repro.workloads.arrivals.SessionArrivals`
+  describes the whole fleet (arrival process, location, device,
+  path-capability mix) and materializes per-session
+  :class:`~repro.experiments.configs.SessionConfig` values lazily;
+* **sharded execution**: sessions are grouped into fixed-size shards,
+  each shard simulated by :func:`_run_shard` (in-process or on the sweep
+  module's process-pool machinery), which folds its sessions into one
+  :class:`~repro.obs.metrics.MetricsRegistry` and ships *only the folded
+  registry* back — the parent never holds per-session artifacts, so peak
+  memory is a function of shard size and worker count, not fleet size;
+* **streaming aggregation with checkpoints**: shard registries merge
+  into the population registry strictly in shard order (float
+  accumulation is order-dependent, and in-order merging is what makes
+  ``--jobs 1`` and ``--jobs N`` byte-identical), and every
+  ``checkpoint_every`` shards the population state is written atomically
+  (temp file + rename, the :class:`~repro.experiments.sweep.ResultCache`
+  pattern) so a killed campaign resumes from its last checkpoint instead
+  of restarting.
+
+Determinism contract: for a given :class:`FleetConfig`, the merged
+population registry is byte-identical (as canonical JSON) across worker
+counts, shardings of the index space, and kill/resume boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from ..analysis.metrics import SessionMetrics
+from ..energy.devices import DEVICES
+from ..net.trace import BandwidthTrace
+from ..net.units import mbps
+from ..obs.bus import EventBus
+from ..obs.events import (FleetCheckpointSaved, FleetCompleted,
+                          FleetShardCompleted, FleetStarted)
+from ..obs.metrics import (Histogram, MetricsRegistry, exponential_buckets,
+                           linear_buckets)
+from ..workloads.arrivals import (ARRIVAL_MODELS, DEFAULT_DEVICE_MIX,
+                                  SessionArrivals, SessionDraw)
+from ..workloads.locations import Location, field_study_locations
+from .configs import SCHEMES, SessionConfig
+from .runner import run_session
+from .sweep import _pool_context, config_key
+
+#: Scenario id -> exposition label (see repro.workloads.locations).
+SCENARIO_NAMES = {1: "never", 2: "sometimes", 3: "always"}
+
+#: Bucket layouts for the population distributions.  Pinned here — not
+#: derived from the data — so registries from any shard always merge.
+BITRATE_BOUNDS = linear_buckets(0.25, 0.25, 24)           # Mbps
+STALL_TIME_BOUNDS = exponential_buckets(0.1, 1.6, 16)     # seconds
+STALL_COUNT_BOUNDS = linear_buckets(1.0, 1.0, 20)         # stalls/session
+STARTUP_BOUNDS = exponential_buckets(0.1, 1.5, 14)        # seconds
+CELLULAR_MB_BOUNDS = exponential_buckets(0.1, 1.6, 18)    # MB/session
+CELLULAR_FRACTION_BOUNDS = linear_buckets(0.05, 0.05, 20)
+ENERGY_BOUNDS = exponential_buckets(1.0, 1.5, 18)         # joules
+MISS_BOUNDS = linear_buckets(1.0, 1.0, 16)                # misses/session
+ARRIVAL_HOUR_BOUNDS = linear_buckets(1.0, 1.0, 24)        # hour of day
+
+CHECKPOINT_FILE = "fleet-checkpoint.json"
+CHECKPOINT_VERSION = 1
+#: Cap on per-session error samples carried by results and checkpoints.
+MAX_ERROR_SAMPLES = 20
+
+
+@dataclass
+class FleetConfig:
+    """One fleet campaign, as plain data (hashable via ``fleet_key``)."""
+
+    sessions: int = 1000
+    #: Arrival model: ``"poisson"`` or ``"diurnal"``.
+    arrival: str = "poisson"
+    #: Campaign window in seconds (arrivals land in ``[0, horizon)``).
+    horizon: float = 86400.0
+    seed: int = 0
+    video: str = "big_buck_bunny"
+    abr: str = "festive"
+    #: Evaluation scheme per session: baseline / duration / rate.
+    scheme: str = "rate"
+    #: Video length per session, seconds (fleets favour short sessions).
+    video_duration: float = 60.0
+    wifi_only_fraction: float = 0.05
+    device_mix: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_DEVICE_MIX))
+    #: Sessions per shard: the memory/progress granularity.
+    shard_size: int = 50
+    kernel: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.sessions < 0:
+            raise ValueError(f"sessions cannot be negative: "
+                             f"{self.sessions!r}")
+        if self.arrival not in ARRIVAL_MODELS:
+            raise ValueError(f"unknown arrival model {self.arrival!r}; "
+                             f"known: {', '.join(ARRIVAL_MODELS)}")
+        if self.horizon <= 0:
+            raise ValueError(f"horizon must be positive: {self.horizon!r}")
+        if self.scheme not in SCHEMES:
+            raise ValueError(f"unknown scheme {self.scheme!r} "
+                             f"(known: {SCHEMES})")
+        if self.video_duration <= 0:
+            raise ValueError(f"video_duration must be positive: "
+                             f"{self.video_duration!r}")
+        if self.shard_size < 1:
+            raise ValueError(f"shard_size must be >= 1: "
+                             f"{self.shard_size!r}")
+        for device in self.device_mix:
+            if device not in DEVICES:
+                raise ValueError(f"unknown device {device!r} "
+                                 f"(known: {sorted(DEVICES)})")
+
+    @property
+    def total_shards(self) -> int:
+        return math.ceil(self.sessions / self.shard_size)
+
+    def shard_range(self, shard: int) -> range:
+        if not 0 <= shard < max(self.total_shards, 1):
+            raise IndexError(f"shard {shard} outside "
+                             f"[0, {self.total_shards})")
+        start = shard * self.shard_size
+        return range(start, min(self.sessions, start + self.shard_size))
+
+    def workload(self) -> SessionArrivals:
+        return SessionArrivals(
+            sessions=self.sessions, arrival=self.arrival,
+            horizon=self.horizon, seed=self.seed,
+            wifi_only_fraction=self.wifi_only_fraction,
+            device_mix=self.device_mix)
+
+
+def fleet_key(config: FleetConfig) -> str:
+    """Deterministic hash naming one campaign (checkpoint identity)."""
+    return config_key(config)
+
+
+_LOCATION_CACHE: Dict[str, Location] = {}
+
+
+def _location(name: str) -> Location:
+    if not _LOCATION_CACHE:
+        _LOCATION_CACHE.update(
+            (loc.name, loc) for loc in field_study_locations())
+    return _LOCATION_CACHE[name]
+
+
+def session_config(config: FleetConfig, draw: SessionDraw) -> SessionConfig:
+    """Materialize one drawn session as a runnable :class:`SessionConfig`.
+
+    The channel mirrors :meth:`~repro.workloads.locations.Location`'s
+    trace construction (same means, sigmas, and dropout windows) but is
+    seeded by the draw's private ``trace_seed``, so co-located sessions
+    see different realizations of the same measured conditions.
+    """
+    location = _location(draw.location)
+    # Long enough for the sim_deadline cap plus startup slack.
+    horizon = 2.0 * config.video_duration + 180.0
+    wifi = BandwidthTrace.random_walk(
+        mbps(location.wifi_mbps), location.wifi_sigma, horizon,
+        interval=0.5, seed=draw.trace_seed)
+    if location.dropouts:
+        wifi = BandwidthTrace.with_dropouts(
+            wifi, list(location.dropouts),
+            floor_bytes_per_s=mbps(0.1 * location.wifi_mbps))
+    lte = None
+    if not draw.wifi_only:
+        lte = BandwidthTrace.random_walk(
+            mbps(location.lte_mbps), 0.15, horizon,
+            interval=0.5, seed=draw.trace_seed + 50_000)
+    base = SessionConfig(
+        video=config.video, abr=config.abr,
+        wifi_mbps=None, lte_mbps=None,
+        wifi_trace=wifi, lte_trace=lte,
+        wifi_rtt_ms=location.wifi_rtt_ms, lte_rtt_ms=location.lte_rtt_ms,
+        wifi_only=draw.wifi_only,
+        video_duration=config.video_duration,
+        kernel=config.kernel, device=draw.device)
+    return base.with_scheme(config.scheme)
+
+
+def fold_session(registry: MetricsRegistry, draw: SessionDraw,
+                 metrics: SessionMetrics, scheduler_stats: Dict[str, int],
+                 finished: bool, session_duration: float) -> None:
+    """Fold one finished session into the population registry.
+
+    Pure accumulation into pinned-bound metrics: the same fold applied
+    in any shard of any worker produces mergeable, order-stable state.
+    """
+    scenario = SCENARIO_NAMES.get(draw.scenario, str(draw.scenario))
+    registry.counter("repro_fleet_sessions_total").inc()
+    registry.counter("repro_fleet_sessions_total",
+                     {"scenario": scenario}).inc()
+    registry.counter("repro_fleet_sessions_by_device_total",
+                     {"device": draw.device}).inc()
+    if draw.wifi_only:
+        registry.counter("repro_fleet_wifi_only_sessions_total").inc()
+    if not finished:
+        registry.counter("repro_fleet_sessions_unfinished_total").inc()
+    registry.gauge("repro_fleet_sim_seconds_total").add(session_duration)
+
+    bitrate = metrics.mean_bitrate_mbps
+    registry.histogram("repro_fleet_bitrate_mbps",
+                       BITRATE_BOUNDS).observe(bitrate)
+    registry.histogram("repro_fleet_bitrate_mbps", BITRATE_BOUNDS,
+                       {"scenario": scenario}).observe(bitrate)
+    registry.histogram("repro_fleet_stall_seconds",
+                       STALL_TIME_BOUNDS).observe(metrics.total_stall_time)
+    registry.histogram("repro_fleet_stall_count",
+                       STALL_COUNT_BOUNDS).observe(metrics.stall_count)
+    if metrics.stall_count > 0:
+        registry.counter("repro_fleet_stalled_sessions_total").inc()
+    if metrics.startup_delay is not None:
+        registry.histogram(
+            "repro_fleet_startup_delay_seconds",
+            STARTUP_BOUNDS).observe(metrics.startup_delay)
+    if not draw.wifi_only:
+        registry.histogram(
+            "repro_fleet_cellular_mbytes",
+            CELLULAR_MB_BOUNDS).observe(metrics.cellular_bytes / 1e6)
+        registry.histogram(
+            "repro_fleet_cellular_fraction",
+            CELLULAR_FRACTION_BOUNDS).observe(metrics.cellular_fraction)
+        registry.histogram(
+            "repro_fleet_cellular_fraction", CELLULAR_FRACTION_BOUNDS,
+            {"scenario": scenario}).observe(metrics.cellular_fraction)
+    registry.histogram("repro_fleet_radio_energy_joules",
+                       ENERGY_BOUNDS).observe(metrics.radio_energy)
+    misses = int(scheduler_stats.get("deadline_misses", 0))
+    registry.counter("repro_fleet_deadline_misses_total").inc(misses)
+    registry.histogram("repro_fleet_deadline_misses",
+                       MISS_BOUNDS).observe(misses)
+    registry.histogram("repro_fleet_arrival_hour",
+                       ARRIVAL_HOUR_BOUNDS).observe(draw.arrival_hour)
+
+
+def _run_shard(config: FleetConfig, shard: int,
+               runner: Optional[Callable[[SessionConfig], Any]] = None
+               ) -> Dict[str, Any]:
+    """Simulate one shard and return only its folded state.
+
+    The worker-side entry point (module-level, picklable).  Per-session
+    faults are isolated: a session that raises is counted as a failure
+    (with a bounded error sample) and the shard continues, so one bad
+    draw cannot void its 49 neighbours.  The return value is a plain
+    JSON-ready dict — never result objects — which is what keeps parent
+    memory independent of fleet size.
+    """
+    workload = config.workload()
+    run = runner if runner is not None else run_session
+    registry = MetricsRegistry()
+    failures = 0
+    completed = 0
+    sim_seconds = 0.0
+    errors: List[str] = []
+    began = time.perf_counter()
+    for index in config.shard_range(shard):
+        draw = workload.draw(index)
+        try:
+            result = run(session_config(config, draw))
+        except Exception as exc:
+            failures += 1
+            registry.counter("repro_fleet_session_failures_total").inc()
+            if len(errors) < 5:
+                errors.append(f"session {index}: "
+                              f"{type(exc).__name__}: {exc}")
+            continue
+        fold_session(registry, draw, result.metrics,
+                     dict(result.scheduler_stats), result.finished,
+                     result.session_duration)
+        completed += 1
+        sim_seconds += result.session_duration
+    return {"shard": shard, "sessions": completed, "failures": failures,
+            "errors": errors, "sim_seconds": sim_seconds,
+            "registry": registry.to_dict(),
+            "elapsed": time.perf_counter() - began}
+
+
+# ----------------------------------------------------------------------
+# Checkpoints
+# ----------------------------------------------------------------------
+def checkpoint_path(checkpoint_dir: str) -> str:
+    return os.path.join(checkpoint_dir, CHECKPOINT_FILE)
+
+
+def save_checkpoint(path: str, key: str, shards_done: int, sessions: int,
+                    failures: int, sim_seconds: float, errors: List[str],
+                    registry: MetricsRegistry) -> None:
+    """Atomically persist the population state through ``shards_done``.
+
+    Temp file + rename (the ResultCache pattern): a campaign killed
+    mid-write leaves the previous checkpoint intact, never a truncated
+    one, so ``--resume`` always finds a loadable prefix.
+    """
+    payload = {"version": CHECKPOINT_VERSION, "fleet_key": key,
+               "shards_done": shards_done, "sessions": sessions,
+               "failures": failures, "sim_seconds": sim_seconds,
+               "errors": list(errors), "registry": registry.to_dict()}
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, sort_keys=True)
+    os.replace(tmp, path)
+
+
+def load_checkpoint(path: str, key: str) -> Optional[Dict[str, Any]]:
+    """Load a checkpoint for the campaign ``key``; None = start fresh.
+
+    A missing or unreadable file is a clean start; a checkpoint written
+    by a *different* campaign is a hard error — silently resuming someone
+    else's population would corrupt both.
+    """
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    found = payload.get("fleet_key")
+    if found != key:
+        raise ValueError(
+            f"checkpoint at {path} belongs to fleet {found!r}, "
+            f"not {key!r}; pick an empty --checkpoint-dir or drop --resume")
+    return payload
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class FleetResult:
+    """Everything one (possibly partial) campaign produced."""
+
+    config: FleetConfig
+    registry: MetricsRegistry
+    sessions: int
+    failures: int
+    shards_done: int
+    total_shards: int
+    jobs: int
+    wall_clock: float
+    sim_seconds: float
+    errors: List[str] = field(default_factory=list)
+    checkpoint: Optional[str] = None
+    #: Shards restored from a checkpoint rather than simulated this run.
+    resumed_shards: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.shards_done >= self.total_shards
+
+    def registry_json(self) -> str:
+        """Canonical JSON of the population registry.
+
+        The determinism contract's unit of comparison: byte-identical
+        across worker counts and kill/resume boundaries for one config.
+        """
+        return json.dumps(self.registry.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    def _quantile(self, name: str, q: float) -> Optional[float]:
+        metric = self.registry.get(name)
+        if isinstance(metric, Histogram) and metric.count:
+            return metric.quantile(q)
+        return None
+
+    def _counter(self, name: str) -> float:
+        metric = self.registry.get(name)
+        return metric.value if metric is not None else 0.0
+
+    def population(self) -> Dict[str, Any]:
+        """Headline population statistics (None = no data folded yet)."""
+        folded = self._counter("repro_fleet_sessions_total")
+        stalled = self._counter("repro_fleet_stalled_sessions_total")
+        return {
+            "sessions": self.sessions,
+            "failures": self.failures,
+            "shards_done": self.shards_done,
+            "total_shards": self.total_shards,
+            "completed": self.completed,
+            "sim_seconds": self.sim_seconds,
+            "bitrate_p50_mbps": self._quantile(
+                "repro_fleet_bitrate_mbps", 0.5),
+            "bitrate_p95_mbps": self._quantile(
+                "repro_fleet_bitrate_mbps", 0.95),
+            "stalled_session_fraction": (stalled / folded if folded
+                                         else None),
+            "stall_seconds_p95": self._quantile(
+                "repro_fleet_stall_seconds", 0.95),
+            "startup_p50_seconds": self._quantile(
+                "repro_fleet_startup_delay_seconds", 0.5),
+            "cellular_fraction_p50": self._quantile(
+                "repro_fleet_cellular_fraction", 0.5),
+            "cellular_mbytes_p50": self._quantile(
+                "repro_fleet_cellular_mbytes", 0.5),
+            "radio_energy_p50_joules": self._quantile(
+                "repro_fleet_radio_energy_joules", 0.5),
+            "deadline_misses_total": int(self._counter(
+                "repro_fleet_deadline_misses_total")),
+            "unfinished_sessions": int(self._counter(
+                "repro_fleet_sessions_unfinished_total")),
+            "wifi_only_sessions": int(self._counter(
+                "repro_fleet_wifi_only_sessions_total")),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"fleet_key": fleet_key(self.config),
+                "sessions": self.sessions, "failures": self.failures,
+                "shards_done": self.shards_done,
+                "total_shards": self.total_shards,
+                "completed": self.completed, "jobs": self.jobs,
+                "wall_clock": self.wall_clock,
+                "sim_seconds": self.sim_seconds,
+                "resumed_shards": self.resumed_shards,
+                "checkpoint": self.checkpoint, "errors": list(self.errors),
+                "population": self.population(),
+                "registry": self.registry.to_dict()}
+
+    def export_report(self, path: str) -> None:
+        """Write the self-contained HTML population report to ``path``."""
+        from ..obs.report import fleet_report_html, write_report
+
+        write_report(path, fleet_report_html(self))
+
+
+# ----------------------------------------------------------------------
+# The engine
+# ----------------------------------------------------------------------
+def _pool_run_shards(config: FleetConfig, start_shard: int, end_shard: int,
+                     jobs: int, retries: int,
+                     runner: Optional[Callable[[SessionConfig], Any]],
+                     commit: Callable[[Dict[str, Any]], None]) -> None:
+    """Fan shards out over a process pool, committing strictly in order.
+
+    At most ``jobs`` shards are in flight; results that finish out of
+    order wait in a small buffer until their predecessors commit, so the
+    commit sequence — and therefore the merged registry — is identical
+    to the serial path's.  The buffer holds at most one window of shard
+    payloads, keeping parent memory bounded regardless of fleet size.
+
+    A worker hard-crash (BrokenProcessPool) fails every in-flight
+    future; completed-exceptionally shards are charged an attempt and
+    retried on a fresh pool, in-flight ones are requeued uncharged.  A
+    shard that exhausts ``retries`` raises — skipping a shard would
+    silently bias the population — and the last checkpoint still covers
+    everything committed before it.
+    """
+    to_submit = list(range(start_shard, end_shard))
+    attempts: Dict[int, int] = {}
+    buffered: Dict[int, Dict[str, Any]] = {}
+    futures: Dict[Any, int] = {}
+    next_commit = start_shard
+    max_workers = min(jobs, end_shard - start_shard)
+    pool = ProcessPoolExecutor(max_workers=max_workers,
+                               mp_context=_pool_context())
+    try:
+        while next_commit < end_shard:
+            while next_commit in buffered:
+                commit(buffered.pop(next_commit))
+                next_commit += 1
+            if next_commit >= end_shard:
+                break
+            while to_submit and len(futures) < max_workers:
+                shard = to_submit[0]
+                attempts[shard] = attempts.get(shard, 0) + 1
+                try:
+                    future = pool.submit(_run_shard, config, shard, runner)
+                except BrokenProcessPool:
+                    attempts[shard] -= 1
+                    pool.shutdown(wait=False)
+                    pool = ProcessPoolExecutor(max_workers=max_workers,
+                                               mp_context=_pool_context())
+                    continue
+                futures[future] = shard
+                to_submit.pop(0)
+            if not futures:
+                continue
+            done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            broken = False
+            for future in done:
+                shard = futures.pop(future)
+                try:
+                    payload = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    if attempts[shard] > retries:
+                        raise RuntimeError(
+                            f"fleet shard {shard} died with the worker "
+                            f"pool after {attempts[shard]} attempt(s): "
+                            f"{exc}") from exc
+                    to_submit.insert(0, shard)
+                    continue
+                except Exception as exc:
+                    if attempts[shard] > retries:
+                        raise RuntimeError(
+                            f"fleet shard {shard} failed after "
+                            f"{attempts[shard]} attempt(s): "
+                            f"{type(exc).__name__}: {exc}") from exc
+                    to_submit.insert(0, shard)
+                    continue
+                buffered[shard] = payload
+            if broken:
+                for future in list(futures):
+                    shard = futures.pop(future)
+                    attempts[shard] -= 1  # never completed: uncharged
+                    to_submit.insert(0, shard)
+                to_submit.sort()
+                pool.shutdown(wait=False)
+                pool = ProcessPoolExecutor(max_workers=max_workers,
+                                           mp_context=_pool_context())
+    finally:
+        pool.shutdown(wait=False)
+
+
+def run_fleet(config: FleetConfig, jobs: int = 1,
+              checkpoint_dir: Optional[str] = None,
+              checkpoint_every: int = 10, resume: bool = False,
+              stop_after: Optional[int] = None, retries: int = 1,
+              bus: Optional[EventBus] = None,
+              runner: Optional[Callable[[SessionConfig], Any]] = None
+              ) -> FleetResult:
+    """Run (or resume) one fleet campaign.
+
+    ``jobs=1`` simulates shards in-process; ``jobs>1`` fans them out over
+    a process pool with in-order merging, so the population registry is
+    byte-identical either way.  ``checkpoint_dir`` enables atomic
+    progress checkpoints every ``checkpoint_every`` shards; ``resume``
+    restores the matching checkpoint (an error if the directory holds a
+    different campaign's).  ``stop_after`` bounds this invocation to that
+    many *newly simulated* shards — the deterministic stand-in for a
+    mid-campaign kill in tests and smoke runs.  ``runner`` replaces
+    :func:`~repro.experiments.runner.run_session` per session (picklable
+    module-level callable when ``jobs > 1``).
+    """
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1: {jobs!r}")
+    if checkpoint_every < 1:
+        raise ValueError(f"checkpoint_every must be >= 1: "
+                         f"{checkpoint_every!r}")
+    if stop_after is not None and stop_after < 1:
+        raise ValueError(f"stop_after must be >= 1: {stop_after!r}")
+    if retries < 0:
+        raise ValueError(f"retries cannot be negative: {retries!r}")
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume requires checkpoint_dir")
+    if bus is None:
+        bus = EventBus()
+    start = time.perf_counter()
+
+    def clock() -> float:
+        return time.perf_counter() - start
+
+    key = fleet_key(config)
+    total = config.total_shards
+    registry = MetricsRegistry()
+    sessions = 0
+    failures = 0
+    sim_seconds = 0.0
+    errors: List[str] = []
+    shards_done = 0
+    resumed_shards = 0
+    ckpt_file: Optional[str] = None
+    if checkpoint_dir is not None:
+        os.makedirs(checkpoint_dir, exist_ok=True)
+        ckpt_file = checkpoint_path(checkpoint_dir)
+        if resume:
+            payload = load_checkpoint(ckpt_file, key)
+            if payload is not None:
+                registry = MetricsRegistry.from_dict(payload["registry"])
+                shards_done = int(payload["shards_done"])
+                sessions = int(payload["sessions"])
+                failures = int(payload["failures"])
+                sim_seconds = float(payload["sim_seconds"])
+                errors = list(payload.get("errors", []))
+                resumed_shards = shards_done
+
+    end_shard = total
+    if stop_after is not None:
+        end_shard = min(total, shards_done + stop_after)
+    bus.publish(FleetStarted(0.0, config.sessions, total, jobs))
+
+    uncheckpointed = 0
+
+    def commit(payload: Dict[str, Any]) -> None:
+        nonlocal sessions, failures, sim_seconds, shards_done
+        nonlocal uncheckpointed
+        registry.merge(MetricsRegistry.from_dict(payload["registry"]))
+        sessions += payload["sessions"]
+        failures += payload["failures"]
+        sim_seconds += payload["sim_seconds"]
+        for sample in payload["errors"]:
+            if len(errors) >= MAX_ERROR_SAMPLES:
+                break
+            errors.append(sample)
+        shards_done += 1
+        uncheckpointed += 1
+        bus.publish(FleetShardCompleted(
+            clock(), payload["shard"], payload["sessions"],
+            payload["failures"], payload["elapsed"]))
+        if ckpt_file is not None and (uncheckpointed >= checkpoint_every
+                                      or shards_done == end_shard):
+            save_checkpoint(ckpt_file, key, shards_done, sessions,
+                            failures, sim_seconds, errors, registry)
+            uncheckpointed = 0
+            bus.publish(FleetCheckpointSaved(clock(), shards_done,
+                                             ckpt_file))
+
+    if shards_done < end_shard:
+        if jobs == 1:
+            for shard in range(shards_done, end_shard):
+                commit(_run_shard(config, shard, runner))
+        else:
+            _pool_run_shards(config, shards_done, end_shard, jobs,
+                             retries, runner, commit)
+
+    wall = time.perf_counter() - start
+    bus.publish(FleetCompleted(wall, sessions, failures, shards_done))
+    return FleetResult(
+        config=config, registry=registry, sessions=sessions,
+        failures=failures, shards_done=shards_done, total_shards=total,
+        jobs=jobs, wall_clock=wall, sim_seconds=sim_seconds,
+        errors=errors, checkpoint=ckpt_file,
+        resumed_shards=resumed_shards)

@@ -38,6 +38,7 @@ import signal
 import threading
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
 from multiprocessing import get_all_start_methods, get_context
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
@@ -72,7 +73,11 @@ def _encode(value: Any) -> Any:
         return {"__trace__": True, "times": value.times,
                 "rates": value.rates, "loop": value.loop}
     if isinstance(value, Mapping):
-        return {str(k): _encode(v) for k, v in sorted(value.items())}
+        # Sort by the *stringified* key: that is the form the emitted dict
+        # actually carries, and raw-key sorting raises TypeError for
+        # mixed-type keys (e.g. {1: ..., "b": ...}).
+        items = sorted(value.items(), key=lambda item: str(item[0]))
+        return {str(k): _encode(v) for k, v in items}
     if isinstance(value, (list, tuple)):
         return [_encode(v) for v in value]
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -402,6 +407,12 @@ class SweepRun:
     cached: bool = False
     attempts: int = 0
     elapsed: float = 0.0
+    #: True when this run's outcome was copied from an identical config
+    #: earlier in the same sweep (deduplicated, never simulated itself).
+    shared: bool = False
+    #: Warning recorded when the on-disk cache write failed; the run
+    #: itself still succeeded with its in-memory summary.
+    cache_error: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -434,6 +445,12 @@ class SweepResult:
     @property
     def cache_hits(self) -> int:
         return sum(1 for run in self.runs if run.cached)
+
+    @property
+    def cache_errors(self) -> List[str]:
+        """Cache-write warnings, one per run whose artifact was lost."""
+        return [f"{run.config_key}: {run.cache_error}" for run in self.runs
+                if run.cache_error is not None]
 
     @property
     def ok(self) -> bool:
@@ -511,7 +528,13 @@ def _settle(run: SweepRun, outcome: tuple, retries: int, cache:
     if status == "ok":
         run.summary = payload
         if cache is not None:
-            cache.store(run.config_key, payload)
+            try:
+                cache.store(run.config_key, payload)
+            except (OSError, TypeError, ValueError) as exc:
+                # A full disk or read-only cache dir must not void a
+                # finished simulation: keep the in-memory summary and
+                # record the write failure as a warning on the run.
+                run.cache_error = f"{type(exc).__name__}: {exc}"
         bus.publish(SweepRunFinished(clock(), run.config_key, run.index,
                                      elapsed, False))
         _publish_summarized(bus, clock, run)
@@ -546,41 +569,82 @@ def _pool_context():
     return get_context()
 
 
+def _fresh_pool(max_workers: int) -> ProcessPoolExecutor:
+    return ProcessPoolExecutor(max_workers=max_workers,
+                               mp_context=_pool_context())
+
+
 def _run_pool(pending: List[SweepRun], runner, timeout, retries, cache, bus,
               clock, jobs: int) -> None:
-    with ProcessPoolExecutor(max_workers=min(jobs, len(pending)),
-                             mp_context=_pool_context()) as pool:
-        futures: Dict[Any, SweepRun] = {}
+    """Fan ``pending`` out over a process pool, surviving pool deaths.
 
-        def submit(run: SweepRun) -> None:
-            run.attempts += 1
-            bus.publish(SweepRunStarted(clock(), run.config_key, run.index,
-                                        run.attempts))
-            try:
-                future = pool.submit(_execute, runner, run.config, timeout)
-            except Exception as exc:
-                # Pool already broken/shut down: no point retrying.
-                _settle(run, (FAILED_ERROR,
-                              f"{type(exc).__name__}: {exc}", 0.0),
-                        -1, cache, bus, clock)
-                return
-            futures[future] = run
-
-        for run in pending:
-            submit(run)
-        while futures:
+    A worker hard-crash (segfault, OOM kill) marks the whole
+    ``ProcessPoolExecutor`` broken and fails *every* in-flight future, not
+    just the culprit's.  The executor cannot attribute the crash, so the
+    futures that completed exceptionally in that round are each charged
+    one attempt — but their retries, and the still-queued runs, go to a
+    *fresh* pool instead of cascading into guaranteed failures on the
+    broken one.  In-flight runs that never reached a ``wait`` round are
+    requeued uncharged (their ``SweepRunStarted`` event is republished
+    with the same attempt number on resubmission).
+    """
+    max_workers = min(jobs, len(pending))
+    queue: List[SweepRun] = list(pending)
+    futures: Dict[Any, SweepRun] = {}
+    pool = _fresh_pool(max_workers)
+    try:
+        while queue or futures:
+            while queue:
+                run = queue[0]
+                run.attempts += 1
+                bus.publish(SweepRunStarted(clock(), run.config_key,
+                                            run.index, run.attempts))
+                try:
+                    future = pool.submit(_execute, runner, run.config,
+                                         timeout)
+                except BrokenProcessPool:
+                    # The pool died since the last round; this run never
+                    # reached a worker, so the attempt is uncharged and
+                    # goes to a replacement pool.
+                    run.attempts -= 1
+                    pool.shutdown(wait=False)
+                    pool = _fresh_pool(max_workers)
+                    continue
+                except Exception as exc:
+                    # Unpicklable config or shut-down executor: permanent.
+                    _settle(run, (FAILED_ERROR,
+                                  f"{type(exc).__name__}: {exc}", 0.0),
+                            -1, cache, bus, clock)
+                    queue.pop(0)
+                    continue
+                futures[future] = run
+                queue.pop(0)
+            if not futures:
+                continue
             done, _ = wait(list(futures), return_when=FIRST_COMPLETED)
+            broken = False
             for future in done:
                 run = futures.pop(future)
                 try:
                     outcome = future.result()
+                except BrokenProcessPool as exc:
+                    broken = True
+                    outcome = (FAILED_ERROR,
+                               f"worker process died: {exc}", 0.0)
                 except Exception as exc:
-                    # The worker process died (e.g. hard crash) — a pool
-                    # infrastructure failure, still isolated to this run.
                     outcome = (FAILED_ERROR,
                                f"{type(exc).__name__}: {exc}", 0.0)
                 if not _settle(run, outcome, retries, cache, bus, clock):
-                    submit(run)
+                    queue.append(run)
+            if broken:
+                for future in list(futures):
+                    run = futures.pop(future)
+                    run.attempts -= 1  # never completed; requeue uncharged
+                    queue.append(run)
+                pool.shutdown(wait=False)
+                pool = _fresh_pool(max_workers)
+    finally:
+        pool.shutdown(wait=False)
 
 
 def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
@@ -592,7 +656,10 @@ def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
     """Run every config, in parallel, reusing cached results.
 
     ``jobs=1`` runs in-process (no pickling, exact tracebacks in events);
-    ``jobs>1`` fans out over a process pool.  ``cache_dir`` enables the
+    ``jobs>1`` fans out over a process pool.  Identical configs within one
+    sweep are deduplicated by :func:`config_key` — simulated once, with
+    the outcome (summary or failure) shared by every duplicate.
+    ``cache_dir`` enables the
     on-disk result cache; ``timeout`` bounds each run's wall-clock seconds;
     failed runs are retried ``retries`` times before being recorded as
     :class:`RunFailure` entries.  ``runner`` replaces
@@ -620,7 +687,15 @@ def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
 
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     pending: List[SweepRun] = []
+    primaries: Dict[str, SweepRun] = {}
+    duplicates: List[SweepRun] = []
     for run in runs:
+        if run.config_key in primaries:
+            # Identical config already in this sweep: simulate once,
+            # share the outcome after the primary settles.
+            duplicates.append(run)
+            continue
+        primaries[run.config_key] = run
         hit = cache.load(run.config_key) if cache is not None else None
         if hit is not None:
             run.summary = hit
@@ -637,6 +712,22 @@ def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
         else:
             _run_pool(pending, runner, timeout, retries, cache, bus, clock,
                       jobs)
+
+    for run in duplicates:
+        primary = primaries[run.config_key]
+        run.shared = True
+        run.attempts = primary.attempts
+        if primary.summary is not None:
+            run.summary = primary.summary
+            run.cached = True  # served without a fresh simulation
+            bus.publish(SweepRunFinished(clock(), run.config_key, run.index,
+                                         0.0, True))
+            _publish_summarized(bus, clock, run)
+        elif primary.failure is not None:
+            run.failure = replace(primary.failure, index=run.index)
+            bus.publish(SweepRunFailed(
+                clock(), run.config_key, run.index, run.failure.kind,
+                run.failure.error, run.failure.attempts))
 
     wall = time.perf_counter() - start
     succeeded = sum(1 for run in runs if run.ok)

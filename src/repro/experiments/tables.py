@@ -128,3 +128,44 @@ def sweep_table(result) -> str:
                   f"p50={slack_hist.quantile(0.5):.2f}s "
                   f"p95={slack_hist.quantile(0.95):.2f}s")
     return table
+
+
+def fleet_table(result) -> str:
+    """Headline population statistics of a fleet campaign.
+
+    One labelled row per statistic from
+    :meth:`~repro.experiments.fleet.FleetResult.population`, with "-"
+    where no data was folded (e.g. a baseline-scheme fleet has no
+    deadline observations).
+    """
+    pop = result.population()
+
+    def num(value, fmt="{:.2f}"):
+        return "-" if value is None else fmt.format(value)
+
+    shards = f"{pop['shards_done']}/{pop['total_shards']}"
+    if result.resumed_shards:
+        shards += f" ({result.resumed_shards} resumed)"
+    rows = [
+        ["sessions simulated", str(pop["sessions"])],
+        ["session failures", str(pop["failures"])],
+        ["shards", shards],
+        ["simulated time", f"{pop['sim_seconds']:.0f}s"],
+        ["mean bitrate p50", num(pop["bitrate_p50_mbps"]) + " Mbit/s"],
+        ["mean bitrate p95", num(pop["bitrate_p95_mbps"]) + " Mbit/s"],
+        ["stalled sessions", num(pop["stalled_session_fraction"],
+                                 "{:.1%}")],
+        ["stall time p95", num(pop["stall_seconds_p95"]) + "s"],
+        ["startup delay p50", num(pop["startup_p50_seconds"]) + "s"],
+        ["cellular share p50", num(pop["cellular_fraction_p50"],
+                                   "{:.1%}")],
+        ["cellular data p50", num(pop["cellular_mbytes_p50"]) + " MB"],
+        ["radio energy p50", num(pop["radio_energy_p50_joules"]) + " J"],
+        ["deadline misses", str(pop["deadline_misses_total"])],
+        ["unfinished sessions", str(pop["unfinished_sessions"])],
+        ["wifi-only sessions", str(pop["wifi_only_sessions"])],
+    ]
+    state = "complete" if pop["completed"] else "partial"
+    title = (f"fleet: {state}, wall {result.wall_clock:.2f}s on "
+             f"{result.jobs} job(s)")
+    return format_table(["statistic", "value"], rows, title=title)

@@ -44,7 +44,9 @@ from .check import (ERROR, INFO, SEVERITIES, WARNING, Checker, CheckReport,
 from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      ChunkDownloaded, ChunkRequested,
                      CwndRestarted, DeadlineArmed, DeadlineDisarmed,
-                     DeadlineExtended, DeadlineMissed, HttpRequestSent,
+                     DeadlineExtended, DeadlineMissed, FleetCheckpointSaved,
+                     FleetCompleted, FleetShardCompleted, FleetStarted,
+                     HttpRequestSent,
                      HttpResponseReceived, MpDashArmed, MpDashSkipped,
                      PacketSent, PathSampled, PathStateRequested,
                      PlaybackEnded, PlaybackStarted, QualitySwitched,
@@ -58,10 +60,10 @@ from .live import SweepDashboard
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       PathSampler, SessionMetricsCollector, Timeseries,
                       collector_from_trace, exponential_buckets,
-                      linear_buckets, registry_from_trace)
+                      linear_buckets, metric_from_dict, registry_from_trace)
 from .profile import ProfiledBus, Profiler
-from .report import (bench_report_html, session_report_html,
-                     sweep_report_html, write_report)
+from .report import (bench_report_html, fleet_report_html,
+                     session_report_html, sweep_report_html, write_report)
 from .spans import (Span, SpanBuilder, dump_chrome_trace, render_span_tree,
                     spans_from_trace, to_chrome_trace)
 from .trace_export import (Trace, TraceMeta, TraceRecorder,
@@ -75,7 +77,9 @@ __all__ = [
     "BenchReport", "BenchResult", "CheckReport", "Checker",
     "ChunkDownloaded", "ChunkRequested", "Counter", "CwndRestarted",
     "DeadlineArmed", "DeadlineDisarmed", "DeadlineExtended",
-    "DeadlineMissed", "EventBus", "Gauge", "Histogram", "HttpRequestSent",
+    "DeadlineMissed", "EventBus", "FleetCheckpointSaved", "FleetCompleted",
+    "FleetShardCompleted", "FleetStarted", "Gauge", "Histogram",
+    "HttpRequestSent",
     "HttpResponseReceived", "InvariantMonitor", "MetricsRegistry",
     "MpDashArmed", "MpDashSkipped", "PacketSent", "PathSampled",
     "PathSampler", "PathStateRequested", "PlaybackEnded",
@@ -91,7 +95,8 @@ __all__ = [
     "bench_report_html", "check_trace", "collector_from_trace",
     "compare_reports", "dump_chrome_trace", "dump_jsonl", "dumps_jsonl",
     "event_from_dict", "event_to_dict", "exponential_buckets",
-    "linear_buckets", "load_jsonl", "loads_jsonl", "metrics_from_trace",
+    "fleet_report_html", "linear_buckets", "load_jsonl", "loads_jsonl",
+    "metric_from_dict", "metrics_from_trace",
     "registry_from_trace", "render_span_tree", "replay", "run_bench",
     "run_scenario", "session_report_html", "spans_from_trace",
     "stock_checkers", "sweep_report_html", "to_chrome_trace",

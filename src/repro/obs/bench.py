@@ -202,6 +202,24 @@ def _run_sweep16() -> Dict[str, Any]:
     return {"sim_seconds": sim_seconds, "events": None}
 
 
+def _run_fleet() -> Dict[str, Any]:
+    """A pinned 96-session fleet shard-merge workload.
+
+    Small enough for CI, large enough that per-session state leaking
+    into the parent (the thing the fleet design forbids) would move the
+    peak-RSS measurement.
+    """
+    from ..experiments.fleet import FleetConfig, run_fleet
+
+    result = run_fleet(FleetConfig(sessions=96, shard_size=16,
+                                   video_duration=20.0, seed=2016),
+                       jobs=1)
+    if result.failures:
+        raise RuntimeError(f"fleet benchmark had {result.failures} "
+                           f"failed sessions")
+    return {"sim_seconds": result.sim_seconds, "events": None}
+
+
 #: Scenario name -> callable returning {"sim_seconds": float,
 #: "events": Optional[int]}.  Measured order is the listed order.
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
@@ -209,6 +227,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "single_tick": _run_single_tick,
     "mobility": _run_mobility,
     "sweep16": _run_sweep16,
+    "fleet": _run_fleet,
 }
 
 

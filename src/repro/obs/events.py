@@ -343,6 +343,49 @@ class SweepCompleted(TraceEvent):
 
 
 # ----------------------------------------------------------------------
+# Fleet campaigns (repro.experiments.fleet)
+# ----------------------------------------------------------------------
+# Fleet events, like sweep events, describe the harness: ``time`` is
+# wall-clock seconds since the campaign (re)started.
+@dataclass(frozen=True, slots=True)
+class FleetStarted(TraceEvent):
+    """A fleet campaign of ``sessions`` sessions in ``shards`` shards
+    began on ``jobs`` workers."""
+
+    sessions: int
+    shards: int
+    jobs: int
+
+
+@dataclass(frozen=True, slots=True)
+class FleetShardCompleted(TraceEvent):
+    """One shard's folded registry was merged into the population."""
+
+    shard: int
+    sessions: int
+    failures: int
+    elapsed: float
+
+
+@dataclass(frozen=True, slots=True)
+class FleetCheckpointSaved(TraceEvent):
+    """The population state through ``shards_done`` shards was atomically
+    written to ``path``."""
+
+    shards_done: int
+    path: str
+
+
+@dataclass(frozen=True, slots=True)
+class FleetCompleted(TraceEvent):
+    """The campaign drained (or hit its ``stop_after`` bound)."""
+
+    sessions: int
+    failures: int
+    shards: int
+
+
+# ----------------------------------------------------------------------
 # Energy (repro.energy)
 # ----------------------------------------------------------------------
 #: Radio power states for :class:`RadioStateChange`.
@@ -371,7 +414,8 @@ EVENT_TYPES: Dict[str, type] = {
         QualitySwitched, PlaybackStarted, StallStart, StallEnd,
         PlaybackEnded, SessionClosed, RadioStateChange, SweepStarted,
         SweepRunStarted, SweepRunFinished, SweepRunSummarized,
-        SweepRunFailed, SweepCompleted,
+        SweepRunFailed, SweepCompleted, FleetStarted, FleetShardCompleted,
+        FleetCheckpointSaved, FleetCompleted,
     )
 }
 

@@ -81,6 +81,12 @@ class Counter:
         return {"kind": self.kind, "name": self.name,
                 "labels": dict(self.labels), "value": self.value}
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Counter":
+        counter = cls(payload["name"], payload.get("labels") or None)
+        counter.value = payload["value"]
+        return counter
+
     def __repr__(self) -> str:
         return f"<Counter {self.name}{_render_labels(self.labels)}={self.value}>"
 
@@ -109,6 +115,12 @@ class Gauge:
     def to_dict(self) -> Dict[str, Any]:
         return {"kind": self.kind, "name": self.name,
                 "labels": dict(self.labels), "value": self.value}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Gauge":
+        gauge = cls(payload["name"], payload.get("labels") or None)
+        gauge.value = payload["value"]
+        return gauge
 
     def __repr__(self) -> str:
         return f"<Gauge {self.name}{_render_labels(self.labels)}={self.value}>"
@@ -270,9 +282,30 @@ class Timeseries:
                 "labels": dict(self.labels),
                 "samples": [list(s) for s in self.samples]}
 
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "Timeseries":
+        series = cls(payload["name"], payload.get("labels") or None)
+        series.samples = [(float(t), float(v))
+                          for t, v in payload["samples"]]
+        return series
+
     def __repr__(self) -> str:
         return (f"<Timeseries {self.name}{_render_labels(self.labels)} "
                 f"n={len(self.samples)}>")
+
+
+#: ``kind`` discriminator -> metric class, for :func:`metric_from_dict`.
+_METRIC_KINDS = {"counter": Counter, "gauge": Gauge,
+                 "histogram": Histogram, "timeseries": Timeseries}
+
+
+def metric_from_dict(payload: Mapping[str, Any]) -> Any:
+    """Revive any serialized metric via its ``kind`` discriminator."""
+    kind = payload.get("kind")
+    cls = _METRIC_KINDS.get(kind)
+    if cls is None:
+        raise ValueError(f"unknown metric kind {kind!r}")
+    return cls.from_dict(payload)
 
 
 class MetricsRegistry:
@@ -355,6 +388,20 @@ class MetricsRegistry:
     def to_dict(self) -> Dict[str, Any]:
         """One JSON document: every metric in canonical order."""
         return {"metrics": [metric.to_dict() for metric in self._ordered()]}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "MetricsRegistry":
+        """Inverse of :meth:`to_dict` — the fleet checkpoint/shard path.
+
+        ``registry.to_dict() -> from_dict -> to_dict`` is an exact
+        round-trip, so merged registries stay byte-identical across
+        process and checkpoint boundaries.
+        """
+        registry = cls()
+        for record in payload.get("metrics", []):
+            metric = metric_from_dict(record)
+            registry._metrics[(metric.name, metric.labels)] = metric
+        return registry
 
     def histograms_to_dict(self) -> List[Dict[str, Any]]:
         """Just the histograms — what a sweep summary carries."""

@@ -743,6 +743,209 @@ def sweep_report_html(result: Any,
     return _document("MP-DASH sweep report", subtitle, sections)
 
 
+# ----------------------------------------------------------------------
+# Fleet report
+# ----------------------------------------------------------------------
+def _fleet_histogram(registry: MetricsRegistry,
+                     name: str) -> Optional[Histogram]:
+    metric = registry.get(name)
+    if isinstance(metric, Histogram) and metric.count:
+        return metric
+    return None
+
+
+def _labeled_counts(registry: MetricsRegistry, name: str,
+                    label: str) -> List[Tuple[str, float]]:
+    """(label value, count) pairs of one labeled counter family."""
+    pairs: List[Tuple[str, float]] = []
+    for metric in registry:
+        if metric.name == name and dict(metric.labels).get(label):
+            pairs.append((dict(metric.labels)[label], metric.value))
+    return pairs
+
+
+def _fleet_overview_panel(result: Any) -> str:
+    resumed = getattr(result, "resumed_shards", 0)
+    shards = f"{result.shards_done}/{result.total_shards}"
+    if resumed:
+        shards += f" ({resumed} resumed)"
+    rate = (result.sim_seconds / result.wall_clock
+            if result.wall_clock > 0 else 0.0)
+    return _panel("Fleet overview", _tiles([
+        (f"{result.sessions}", "", "sessions simulated"),
+        (f"{result.failures}", "", "session failures"),
+        (shards, "", "shards"),
+        (f"{result.jobs}", "", "workers"),
+        (f"{result.wall_clock:.1f}", "s", "wall clock"),
+        (f"{result.sim_seconds:.0f}", "s", "simulated time"),
+        (f"{rate:.0f}x", "", "sim/wall"),
+    ]))
+
+
+def _fleet_qoe_panel(registry: MetricsRegistry) -> str:
+    parts: List[str] = []
+    bitrate = _fleet_histogram(registry, "repro_fleet_bitrate_mbps")
+    if bitrate is not None:
+        payload = bitrate.to_dict()
+        parts.append(_note(
+            f"mean bitrate over {bitrate.count} sessions "
+            f"(p50 = {bitrate.quantile(0.5):.2f}, "
+            f"p95 = {bitrate.quantile(0.95):.2f} Mbit/s)"))
+        parts.append('<div class="row">'
+                     + histogram_chart(payload, x_label="Mbit/s",
+                                       title="population mean bitrate")
+                     + cdf_chart(payload, x_label="Mbit/s",
+                                 title="population bitrate CDF")
+                     + "</div>")
+    stalls = _fleet_histogram(registry, "repro_fleet_stall_seconds")
+    stall_count = _fleet_histogram(registry, "repro_fleet_stall_count")
+    row: List[str] = []
+    if stalls is not None:
+        row.append(histogram_chart(
+            stalls.to_dict(), width=352, x_label="stall time (s)",
+            css="s2", title="stall time per session"))
+    if stall_count is not None:
+        row.append(histogram_chart(
+            stall_count.to_dict(), width=352, x_label="stalls",
+            css="s3", title="stall count per session"))
+    if row:
+        parts.append(f'<div class="row">{"".join(row)}</div>')
+    if not parts:
+        parts.append(_note("no sessions folded yet"))
+    return _panel("Population QoE", *parts)
+
+
+def _fleet_cellular_panel(registry: MetricsRegistry) -> str:
+    parts: List[str] = []
+    fraction = _fleet_histogram(registry, "repro_fleet_cellular_fraction")
+    if fraction is not None:
+        payload = fraction.to_dict()
+        parts.append(_note(
+            f"cellular byte share over {fraction.count} multipath "
+            f"sessions (p50 = {fraction.quantile(0.5):.1%})"))
+        parts.append('<div class="row">'
+                     + histogram_chart(payload, x_label="cellular share",
+                                       title="cellular byte share")
+                     + cdf_chart(payload, x_label="cellular share",
+                                 title="cellular share CDF")
+                     + "</div>")
+    row: List[str] = []
+    mbytes = _fleet_histogram(registry, "repro_fleet_cellular_mbytes")
+    if mbytes is not None:
+        row.append(histogram_chart(
+            mbytes.to_dict(), width=352, x_label="cellular MB", css="s2",
+            title="cellular data per session"))
+    energy = _fleet_histogram(registry, "repro_fleet_radio_energy_joules")
+    if energy is not None:
+        row.append(histogram_chart(
+            energy.to_dict(), width=352, x_label="energy (J)", css="s4",
+            title="radio energy per session"))
+    if row:
+        parts.append(f'<div class="row">{"".join(row)}</div>')
+    if not parts:
+        parts.append(_note("no multipath sessions folded yet"))
+    return _panel("Cellular usage and energy", *parts)
+
+
+def _fleet_deadline_panel(registry: MetricsRegistry) -> str:
+    total = registry.get("repro_fleet_deadline_misses_total")
+    misses = _fleet_histogram(registry, "repro_fleet_deadline_misses")
+    if misses is None:
+        return _panel("Deadline misses",
+                      _note("no deadline observations (baseline scheme "
+                            "or no sessions folded)"))
+    clean = misses.counts[0] if misses.bounds[0] >= 1.0 else 0
+    tiles = _tiles([
+        (f"{int(total.value) if total else 0}", "", "misses total"),
+        (f"{misses.count - clean}", "", "sessions with misses"),
+        (f"{clean / misses.count:.1%}" if misses.count else "-", "",
+         "miss-free sessions"),
+    ])
+    chart = histogram_chart(misses.to_dict(), width=352,
+                            x_label="misses per session", css="s8",
+                            title="deadline misses per session")
+    return _panel("Deadline misses", tiles, chart)
+
+
+def _fleet_mix_panel(registry: MetricsRegistry) -> str:
+    parts: List[str] = []
+    arrivals = _fleet_histogram(registry, "repro_fleet_arrival_hour")
+    if arrivals is not None:
+        parts.append(histogram_chart(
+            arrivals.to_dict(), x_label="arrival hour (local)",
+            title="session arrivals by hour"))
+    row: List[str] = []
+    scenarios = _labeled_counts(registry, "repro_fleet_sessions_total",
+                                "scenario")
+    if scenarios:
+        order = {"never": 0, "sometimes": 1, "always": 2}
+        scenarios.sort(key=lambda pair: order.get(pair[0], 9))
+        row.append(bar_chart([name for name, _ in scenarios],
+                             [count for _, count in scenarios],
+                             width=352, height=190, y_label="sessions",
+                             value_format="{:.0f}",
+                             title="sessions by WiFi scenario"))
+    devices = _labeled_counts(registry,
+                              "repro_fleet_sessions_by_device_total",
+                              "device")
+    if devices:
+        devices.sort()
+        row.append(bar_chart([name for name, _ in devices],
+                             [count for _, count in devices],
+                             width=352, height=190, y_label="sessions",
+                             value_format="{:.0f}",
+                             title="sessions by device"))
+    if row:
+        parts.append(f'<div class="row">{"".join(row)}</div>')
+    if not parts:
+        parts.append(_note("no arrival observations yet"))
+    return _panel("Workload mix", *parts)
+
+
+def _fleet_failures_panel(result: Any) -> Optional[str]:
+    errors = list(getattr(result, "errors", ()))
+    if not result.failures and not errors:
+        return None
+    parts = [_note(f"{result.failures} session(s) failed and were "
+                   f"excluded from the population distributions")]
+    if errors:
+        items = "".join(f'<li><span class="mono">{escape(e)}</span></li>'
+                        for e in errors)
+        parts.append(f'<ul class="flat">{items}</ul>')
+    return _panel("Session failures", *parts)
+
+
+def fleet_report_html(result: Any) -> str:
+    """Render a fleet campaign's population-distribution report.
+
+    ``result`` is duck-typed (a
+    :class:`~repro.experiments.fleet.FleetResult`): this module reads
+    only its registry and plain counters, never the experiment layer.
+    A pure function of the merged registry, so jobs=1 and jobs=N runs
+    of the same campaign render byte-identical documents.
+    """
+    registry = result.registry
+    config = getattr(result, "config", None)
+    bits = [f"{result.sessions} sessions"]
+    if config is not None:
+        bits += [f"{config.arrival} arrivals", f"seed {config.seed}",
+                 f"scheme {config.scheme}"]
+    bits.append(f"{result.jobs} worker(s)")
+    if not getattr(result, "completed", True):
+        bits.append("partial campaign")
+    sections = [
+        _fleet_overview_panel(result),
+        _fleet_qoe_panel(registry),
+        _fleet_cellular_panel(registry),
+        _fleet_deadline_panel(registry),
+        _fleet_mix_panel(registry),
+    ]
+    failures = _fleet_failures_panel(result)
+    if failures is not None:
+        sections.append(failures)
+    return _document("MP-DASH fleet report", " | ".join(bits), sections)
+
+
 def bench_report_html(reports: Sequence[BenchReport],
                       baseline: Optional[BenchReport] = None,
                       threshold: float = 0.25) -> str:

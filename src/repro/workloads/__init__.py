@@ -1,5 +1,8 @@
-"""Workloads: videos, bandwidth profiles, field locations, mobility."""
+"""Workloads: videos, bandwidth profiles, locations, mobility, arrivals."""
 
+from .arrivals import (ARRIVAL_DIURNAL, ARRIVAL_MODELS, ARRIVAL_POISSON,
+                       DEFAULT_DEVICE_MIX, DIURNAL_CURVE, SessionArrivals,
+                       SessionDraw)
 from .locations import (Location, SCENARIO_ALWAYS, SCENARIO_COUNTS,
                         SCENARIO_NEVER, SCENARIO_SOMETIMES,
                         TABLE5_LOCATIONS, TOP_BITRATE_MBPS,
@@ -12,9 +15,12 @@ from .videos import (DEFAULT_CHUNK_DURATION, DEFAULT_DURATION, VIDEO_LADDERS,
                      video_asset, video_names)
 
 __all__ = [
-    "BandwidthProfile", "DEFAULT_CHUNK_DURATION", "DEFAULT_DURATION",
+    "ARRIVAL_DIURNAL", "ARRIVAL_MODELS", "ARRIVAL_POISSON",
+    "BandwidthProfile", "DEFAULT_CHUNK_DURATION", "DEFAULT_DEVICE_MIX",
+    "DEFAULT_DURATION", "DIURNAL_CURVE",
     "Location", "MobilityScenario", "SCENARIO_ALWAYS", "SCENARIO_COUNTS",
-    "SCENARIO_NEVER", "SCENARIO_SOMETIMES", "TABLE5_LOCATIONS",
+    "SCENARIO_NEVER", "SCENARIO_SOMETIMES", "SessionArrivals",
+    "SessionDraw", "TABLE5_LOCATIONS",
     "TOP_BITRATE_MBPS", "VIDEO_LADDERS", "coffeehouse_profile",
     "fast_food_profile", "field_study_locations", "location_by_name",
     "office_profile", "synthetic_profile", "table1_profiles", "video_asset",

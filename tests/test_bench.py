@@ -141,7 +141,13 @@ class TestRunScenario:
 
     def test_scenario_registry_names(self):
         assert set(SCENARIOS) == {"single", "single_tick", "mobility",
-                                  "sweep16"}
+                                  "sweep16", "fleet"}
+
+    def test_fleet_scenario_measures(self):
+        measured = run_scenario("fleet")
+        assert measured.scenario == "fleet"
+        assert measured.sim_seconds > 0
+        assert measured.events is None  # spans many worker buses
 
 
 class TestRunBench:

@@ -505,3 +505,58 @@ class TestBenchHtml:
         assert main(["bench", "--load", bench, "--compare", bench,
                      "--html", out]) == 0
         assert "no regression" in open(out).read()
+
+
+class TestFleet:
+    ARGS = ["fleet", "--sessions", "6", "--shard-size", "3",
+            "--duration", "8", "--seed", "3"]
+
+    def test_fleet_json(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        out = capsys.readouterr()
+        payload = json.loads(out.out)
+        assert payload["completed"] is True
+        assert payload["population"]["sessions"] == 6
+        assert payload["registry"]  # full population registry on stdout
+        assert out.err == ""  # --json keeps stderr quiet
+
+    def test_fleet_table_and_progress(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr()
+        assert out.out == ""
+        assert "sessions simulated" in out.err
+        assert "shard 1/2" in out.err
+
+    def test_fleet_report(self, tmp_path, capsys):
+        report = tmp_path / "fleet.html"
+        assert main(self.ARGS + ["--json", "--report", str(report)]) == 0
+        assert report.stat().st_size > 1000
+        assert "fleet report written" in capsys.readouterr().err
+
+    def test_fleet_checkpoint_resume(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        argv = self.ARGS + ["--json", "--checkpoint-dir", ckpt,
+                            "--checkpoint-every", "1"]
+        assert main(argv + ["--stop-after", "1"]) == 0
+        partial = json.loads(capsys.readouterr().out)
+        assert partial["completed"] is False
+        assert main(argv + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        assert resumed["completed"] is True
+        assert resumed["resumed_shards"] == 1
+
+    def test_foreign_checkpoint_exits_2(self, tmp_path, capsys):
+        ckpt = str(tmp_path / "ckpt")
+        argv = self.ARGS + ["--json", "--checkpoint-dir", ckpt]
+        assert main(argv + ["--stop-after", "1"]) == 0
+        capsys.readouterr()
+        other = ["fleet", "--sessions", "6", "--shard-size", "3",
+                 "--duration", "8", "--seed", "4", "--json",
+                 "--checkpoint-dir", ckpt, "--resume"]
+        assert main(other) == 2
+        assert "belongs to fleet" in capsys.readouterr().err
+
+    def test_bad_args_exit_2(self, capsys):
+        assert main(["fleet", "--sessions", "-1"]) == 2
+        assert main(["fleet", "--resume"]) == 2
+        capsys.readouterr()

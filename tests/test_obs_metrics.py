@@ -1,5 +1,6 @@
 """Tests for repro.obs.metrics: primitives, registry, session collector."""
 
+import json
 import pickle
 
 import pytest
@@ -14,7 +15,8 @@ from repro.obs.events import (ChunkDownloaded, ChunkRequested, DeadlineArmed,
 from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                                SessionMetricsCollector, Timeseries,
                                collector_from_trace, exponential_buckets,
-                               linear_buckets, registry_from_trace)
+                               linear_buckets, metric_from_dict,
+                               registry_from_trace)
 
 
 def short_config(**kwargs):
@@ -386,3 +388,72 @@ class TestLiveSession:
         assert bare.session_duration == instrumented.session_duration
         assert ([c.level for c in bare.player.log.chunks]
                 == [c.level for c in instrumented.player.log.chunks])
+
+
+class TestMetricSerialization:
+    """to_dict/from_dict round-trips: the fleet shard wire format."""
+
+    def test_counter_round_trip(self):
+        counter = Counter("hits", {"path": "wifi"})
+        counter.inc(3)
+        again = metric_from_dict(counter.to_dict())
+        assert isinstance(again, Counter)
+        assert again.to_dict() == counter.to_dict()
+
+    def test_gauge_round_trip(self):
+        gauge = Gauge("level")
+        gauge.set(2.0)
+        gauge.add(0.5)
+        again = metric_from_dict(gauge.to_dict())
+        assert isinstance(again, Gauge)
+        assert again.to_dict() == gauge.to_dict()
+
+    def test_histogram_round_trip(self):
+        histogram = Histogram("lat", linear_buckets(1.0, 1.0, 4))
+        for value in (0.5, 1.5, 3.5, 99.0):
+            histogram.observe(value)
+        again = metric_from_dict(histogram.to_dict())
+        assert isinstance(again, Histogram)
+        assert again.to_dict() == histogram.to_dict()
+        assert again.quantile(0.5) == histogram.quantile(0.5)
+
+    def test_timeseries_round_trip(self):
+        series = Timeseries("buffer")
+        series.sample(0.0, 1.0)
+        series.sample(1.0, 2.5)
+        again = metric_from_dict(series.to_dict())
+        assert isinstance(again, Timeseries)
+        assert again.to_dict() == series.to_dict()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            metric_from_dict({"kind": "sketch", "name": "x"})
+
+    def test_registry_round_trip_is_exact(self):
+        registry = MetricsRegistry()
+        registry.counter("a").inc(2)
+        registry.counter("a", {"path": "lte"}).inc()
+        registry.gauge("b").add(1.25)
+        registry.histogram("c", linear_buckets(1.0, 1.0, 3)).observe(2.0)
+        registry.timeseries("d").sample(0.5, 1.0)
+        payload = registry.to_dict()
+        again = MetricsRegistry.from_dict(payload)
+        assert again.to_dict() == payload
+        # And the round-trip is stable as canonical JSON (byte identity).
+        assert json.dumps(again.to_dict(), sort_keys=True) == \
+            json.dumps(payload, sort_keys=True)
+
+    def test_round_tripped_registry_merges_like_the_original(self):
+        one = MetricsRegistry()
+        one.counter("a").inc(2)
+        one.histogram("c", linear_buckets(1.0, 1.0, 3)).observe(2.0)
+        two = MetricsRegistry()
+        two.counter("a").inc(3)
+        two.histogram("c", linear_buckets(1.0, 1.0, 3)).observe(0.5)
+        direct = MetricsRegistry()
+        direct.merge(one)
+        direct.merge(two)
+        shipped = MetricsRegistry()
+        shipped.merge(MetricsRegistry.from_dict(one.to_dict()))
+        shipped.merge(MetricsRegistry.from_dict(two.to_dict()))
+        assert shipped.to_dict() == direct.to_dict()

@@ -1,6 +1,8 @@
 """Tests for the parallel, cached, fault-tolerant sweep engine."""
 
 import json
+import os
+import signal
 import time
 
 import pytest
@@ -370,3 +372,159 @@ class TestSweepHistograms:
         table = sweep_table(sweep)
         assert "p95 slack" in table  # the column is always present
         assert "merged deadline slack" not in table
+
+
+# Module-level kill runners for the broken-pool tests (picklable).
+def kill_once_runner(config):
+    """SIGKILL this worker the first time, succeed on the retry."""
+    marker = os.environ["REPRO_TEST_KILL_MARKER"]
+    try:
+        with open(marker, "x"):
+            pass
+    except FileExistsError:
+        return default_runner(config)
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def always_kill_runner(config):
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+#: In-process invocation log for the dedup tests (jobs=1 only).
+counting_calls = []
+
+
+def counting_runner(config):
+    counting_calls.append(config_key(config))
+    return default_runner(config)
+
+
+class TestDuplicateConfigs:
+    def test_duplicates_simulated_once(self):
+        counting_calls.clear()
+        configs = [short_config()] * 3
+        sweep = run_sweep(configs, runner=counting_runner)
+        assert sweep.ok and len(sweep) == 3
+        assert len(counting_calls) == 1
+        assert not sweep.runs[0].shared
+        assert sweep.runs[1].shared and sweep.runs[2].shared
+        for run in sweep.runs[1:]:
+            assert run.cached  # served without a fresh simulation
+            assert run.summary == sweep.runs[0].summary
+            assert run.attempts == sweep.runs[0].attempts
+
+    def test_mixed_grid_keeps_distinct_configs_distinct(self):
+        counting_calls.clear()
+        configs = [short_config(), short_config(wifi_mbps=6.0),
+                   short_config()]
+        sweep = run_sweep(configs, runner=counting_runner)
+        assert sweep.ok
+        assert len(counting_calls) == 2
+        assert sweep.runs[2].shared and not sweep.runs[1].shared
+
+    def test_duplicate_failure_carries_its_own_index(self):
+        sweep = run_sweep([short_config()] * 2, runner=crash_runner)
+        assert not sweep.ok
+        assert sweep.runs[1].shared
+        assert sweep.runs[1].failure is not None
+        assert sweep.runs[1].failure.index == 1
+        assert sweep.runs[0].failure.index == 0
+        assert "injected crash" in sweep.runs[1].failure.error
+
+    def test_duplicate_events_published_per_run(self):
+        bus = EventBus()
+        finished = []
+        bus.subscribe(SweepRunFinished, finished.append)
+        run_sweep([short_config()] * 3, bus=bus)
+        assert sorted(e.index for e in finished) == [0, 1, 2]
+
+    def test_dedup_in_pool(self):
+        sweep = run_sweep([short_config()] * 3, jobs=2)
+        assert sweep.ok
+        assert [run.shared for run in sweep.runs] == [False, True, True]
+        assert sweep.runs[1].summary == sweep.runs[0].summary
+
+    def test_dedup_composes_with_the_cache(self, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        first = run_sweep([short_config()] * 2, cache_dir=cache_dir)
+        assert first.cache_hits == 1  # the duplicate
+        second = run_sweep([short_config()] * 2, cache_dir=cache_dir)
+        assert second.cache_hits == 2
+        assert second.runs[0].summary == first.runs[0].summary
+
+
+class TestCacheStoreFailure:
+    def test_store_failure_degrades_to_a_warning(self, tmp_path,
+                                                 monkeypatch):
+        def broken_store(self, key, payload):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(ResultCache, "store", broken_store)
+        sweep = run_sweep([short_config()],
+                          cache_dir=str(tmp_path / "cache"))
+        assert sweep.ok  # the simulation itself survived
+        run = sweep.runs[0]
+        assert run.summary is not None
+        assert run.cache_error is not None
+        assert "disk full" in run.cache_error
+        assert len(sweep.cache_errors) == 1
+        assert run.config_key in sweep.cache_errors[0]
+
+    def test_healthy_cache_records_no_warning(self, tmp_path):
+        sweep = run_sweep([short_config()],
+                          cache_dir=str(tmp_path / "cache"))
+        assert sweep.ok
+        assert sweep.runs[0].cache_error is None
+        assert sweep.cache_errors == []
+
+
+@pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
+                    reason="needs SIGKILL (POSIX)")
+class TestBrokenPoolRecovery:
+    def test_worker_death_is_retried_on_a_fresh_pool(self, tmp_path,
+                                                     monkeypatch):
+        marker = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_TEST_KILL_MARKER", str(marker))
+        sweep = run_sweep([short_config()], jobs=2, retries=2,
+                          runner=kill_once_runner)
+        assert marker.exists()
+        assert sweep.ok
+        # Exactly one attempt died with the pool before the retry won.
+        assert sweep.runs[0].attempts == 2
+
+    def test_collateral_runs_survive_the_pool_death(self, tmp_path,
+                                                    monkeypatch):
+        marker = tmp_path / "killed"
+        monkeypatch.setenv("REPRO_TEST_KILL_MARKER", str(marker))
+        configs = [short_config(wifi_mbps=w) for w in (6.0, 7.0, 8.0)]
+        sweep = run_sweep(configs, jobs=2, retries=2,
+                          runner=kill_once_runner)
+        assert sweep.ok and len(sweep) == 3
+
+    def test_permanent_worker_death_records_a_failure(self):
+        sweep = run_sweep([short_config()], jobs=2, retries=1,
+                          runner=always_kill_runner)
+        assert not sweep.ok
+        failure = sweep.runs[0].failure
+        assert failure is not None
+        assert failure.kind == FAILED_ERROR
+        assert "worker process died" in failure.error
+        assert failure.attempts == 2
+
+
+class TestMixedKeyEncode:
+    def test_mixed_type_dict_keys_are_hashable(self):
+        # Raw-key sorting would raise TypeError("'<' not supported ...").
+        key = config_key(short_config(abr_kwargs={"b": 1, 2: 3}))
+        assert isinstance(key, str)
+
+    def test_stringified_order_is_stable(self):
+        one = config_key(short_config(abr_kwargs={"b": 1, 2: 3}))
+        other = config_key(short_config(abr_kwargs={2: 3, "b": 1}))
+        assert one == other
+
+    def test_string_form_collisions_are_shared_keys(self):
+        # {"2": x} and {2: x} canonicalize identically by design: the
+        # emitted JSON carries stringified keys either way.
+        assert config_key(short_config(abr_kwargs={"2": 3})) == \
+            config_key(short_config(abr_kwargs={2: 3}))
