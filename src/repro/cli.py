@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from dataclasses import asdict
 from typing import List, Optional
@@ -48,12 +49,15 @@ from .experiments import (BASELINE, DURATION, FileDownloadConfig, FleetConfig,
                           run_fleet, run_schemes, run_session, run_sweep)
 from .experiments.tables import fleet_table, format_table, pct, sweep_table
 from .obs import (BenchReport, EventBus, FleetCheckpointSaved,
-                  FleetShardCompleted, SweepDashboard, SweepRunFailed,
-                  SweepRunFinished, Trace, bench_report_html, check_trace,
-                  compare_reports, dump_chrome_trace, dump_jsonl,
-                  load_jsonl, metrics_from_trace, registry_from_trace,
+                  FleetDashboard, FleetSessionCaptured,
+                  FleetShardCompleted, RecorderConfig, SweepDashboard,
+                  SweepRunFailed, SweepRunFinished, Trace,
+                  bench_report_html, check_trace, compare_reports,
+                  dump_chrome_trace, dump_jsonl, load_jsonl,
+                  metrics_from_trace, registry_from_trace,
                   render_span_tree, run_bench, session_report_html,
-                  spans_from_trace, stock_checkers, write_report)
+                  spans_from_trace, stock_checkers, triage_report_html,
+                  write_report)
 from .obs.spans import spans_to_dicts
 from .workloads import (ARRIVAL_MODELS, VIDEO_LADDERS,
                         field_study_locations, video_names)
@@ -320,6 +324,51 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--report", metavar="FILE", default=None,
                        help="write the self-contained HTML population "
                             "report to FILE")
+    fleet.add_argument("--live", action="store_true",
+                       help="live stderr dashboard (worker lanes, "
+                            "recorder captures, ETA; TTY only)")
+    fleet.add_argument("--record-dir", metavar="DIR", default=None,
+                       help="arm the flight recorder: captured traces "
+                            "and the triage manifest go under DIR")
+    fleet.add_argument("--record-head-every", type=int, default=0,
+                       metavar="N",
+                       help="also keep every Nth session unconditionally "
+                            "(0 = off)")
+    fleet.add_argument("--record-miss-threshold", type=int, default=10,
+                       metavar="N",
+                       help="capture sessions with >= N deadline misses")
+    fleet.add_argument("--record-stall-threshold", type=int, default=3,
+                       metavar="N",
+                       help="capture sessions with >= N stalls")
+    fleet.add_argument("--record-bottom-k", type=int, default=1,
+                       metavar="K",
+                       help="capture each shard's K worst sessions "
+                            "by QoE")
+    fleet.add_argument("--fault-session", type=int, default=None,
+                       metavar="I",
+                       help="inject the seeded scheduler fault into "
+                            "session index I (smoke/testing)")
+    fleet.add_argument("--triage-top", type=int, default=0, metavar="K",
+                       help="with --report: render mini session reports "
+                            "for the K worst captured anomalies")
+
+    triage = commands.add_parser(
+        "triage", help="rank and replay flight-recorder captures from "
+                       "a fleet campaign")
+    triage.add_argument("--record-dir", required=True, metavar="DIR",
+                        help="recorder artifact root (or one campaign's "
+                             "subdirectory)")
+    triage.add_argument("--fleet-key", default=None, metavar="PREFIX",
+                        help="campaign key prefix when DIR holds "
+                             "several campaigns")
+    triage.add_argument("--top", type=int, default=10, metavar="K",
+                        help="show the K worst anomalies (default 10)")
+    triage.add_argument("--json", action="store_true",
+                        help="machine-readable ranking + replay verdicts "
+                             "on stdout")
+    triage.add_argument("--html", metavar="FILE", default=None,
+                        help="write the triage report (plus mini session "
+                             "reports beside it) to FILE")
 
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
@@ -849,13 +898,26 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             abr=args.abr, scheme=args.scheme,
             video_duration=args.duration,
             wifi_only_fraction=args.wifi_only_fraction,
-            shard_size=args.shard_size, kernel=args.kernel)
+            shard_size=args.shard_size, kernel=args.kernel,
+            fault_session=args.fault_session)
+        recorder = None
+        if args.record_dir is not None:
+            recorder = RecorderConfig(
+                artifact_dir=args.record_dir,
+                head_every=args.record_head_every,
+                miss_threshold=args.record_miss_threshold,
+                stall_threshold=args.record_stall_threshold,
+                bottom_k=args.record_bottom_k)
     except ValueError as exc:
         print(f"repro fleet: {exc}", file=sys.stderr)
         return 2
 
     bus = EventBus()
-    if not args.json:
+    dashboard = None
+    if args.live:
+        dashboard = FleetDashboard()
+        dashboard.attach(bus)
+    if not args.json and (dashboard is None or not dashboard.enabled):
         total = config.total_shards
         bus.subscribe(FleetShardCompleted, lambda e: print(
             f"[{e.time:8.2f}s] shard {e.shard + 1}/{total} "
@@ -864,11 +926,16 @@ def cmd_fleet(args: argparse.Namespace) -> int:
         bus.subscribe(FleetCheckpointSaved, lambda e: print(
             f"[{e.time:8.2f}s] checkpoint @ {e.shards_done} shards "
             f"-> {e.path}", file=sys.stderr))
+        if recorder is not None:
+            bus.subscribe(FleetSessionCaptured, lambda e: print(
+                f"[{e.time:8.2f}s] captured session {e.session} "
+                f"({e.reason}, score {e.score:.2f})", file=sys.stderr))
     try:
         result = run_fleet(
             config, jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every, resume=args.resume,
-            stop_after=args.stop_after, retries=args.retries, bus=bus)
+            stop_after=args.stop_after, retries=args.retries, bus=bus,
+            recorder=recorder)
     except ValueError as exc:
         print(f"repro fleet: {exc}", file=sys.stderr)
         return 2
@@ -881,8 +948,76 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     else:
         print(fleet_table(result), file=sys.stderr)
     if args.report is not None:
-        result.export_report(args.report)
+        result.export_report(args.report, triage_top=args.triage_top)
         print(f"fleet report written to {args.report}", file=sys.stderr)
+    return 0
+
+
+def cmd_triage(args: argparse.Namespace) -> int:
+    """Rank, replay, and render a campaign's flight-recorder captures.
+
+    Exit status: 0 on a successful triage (even with zero captures),
+    2 when the artifact directory has no usable manifest or the
+    ``--fleet-key`` prefix is missing/ambiguous.
+    """
+    from .obs.recorder import (find_manifests, load_manifest,
+                               rank_anomalies, render_anomaly_reports,
+                               replay_anomaly, triage_table)
+
+    manifests = find_manifests(args.record_dir)
+    if not manifests:
+        print(f"repro triage: no anomaly manifest under "
+              f"{args.record_dir}", file=sys.stderr)
+        return 2
+    if args.fleet_key is not None:
+        manifests = [m for m in manifests
+                     if os.path.basename(os.path.dirname(m))
+                     .startswith(args.fleet_key)]
+        if not manifests:
+            print(f"repro triage: no campaign matching key prefix "
+                  f"{args.fleet_key!r}", file=sys.stderr)
+            return 2
+    if len(manifests) > 1:
+        keys = ", ".join(os.path.basename(os.path.dirname(m))
+                         for m in manifests)
+        print(f"repro triage: several campaigns under "
+              f"{args.record_dir} ({keys}); pick one with --fleet-key",
+              file=sys.stderr)
+        return 2
+    manifest_path = manifests[0]
+    try:
+        manifest = load_manifest(manifest_path)
+    except (OSError, ValueError) as exc:
+        print(f"repro triage: {exc}", file=sys.stderr)
+        return 2
+    # Artifact paths in records are relative to the recorder *root*,
+    # the manifest's grandparent directory.
+    root = os.path.dirname(os.path.dirname(manifest_path))
+    ranked = rank_anomalies(manifest.get("records", []),
+                            top=max(args.top, 0) or None)
+    replays = {int(r["index"]): replay_anomaly(root, r) for r in ranked}
+    if args.json:
+        print(json.dumps(
+            {"fleet_key": manifest.get("fleet_key", ""),
+             "stats": manifest.get("stats", {}),
+             "records": [dict(r, replay=replays[int(r["index"])])
+                         for r in ranked]}, sort_keys=True))
+    else:
+        print(triage_table(ranked), file=sys.stderr)
+        for record in ranked:
+            replay = replays[int(record["index"])]
+            if replay.get("replayed") and not replay.get(
+                    "matches_recorded"):
+                print(f"warning: session {record['index']} replayed to "
+                      f"different verdicts than recorded", file=sys.stderr)
+    if args.html is not None:
+        out_dir = os.path.dirname(os.path.abspath(args.html))
+        links = render_anomaly_reports(root, ranked, out_dir)
+        write_report(args.html, triage_report_html(
+            ranked, fleet_key=manifest.get("fleet_key", ""),
+            links=links, replays=replays))
+        print(f"triage report written to {args.html} "
+              f"({len(links)} mini report(s))", file=sys.stderr)
     return 0
 
 
@@ -919,6 +1054,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "report": cmd_report,
     "fleet": cmd_fleet,
+    "triage": cmd_triage,
     "locations": cmd_locations,
     "videos": cmd_videos,
 }

@@ -35,11 +35,13 @@ from __future__ import annotations
 import json
 import math
 import os
+import sys
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterator, List, Optional
 
 from ..analysis.metrics import SessionMetrics
 from ..energy.devices import DEVICES
@@ -47,9 +49,12 @@ from ..net.trace import BandwidthTrace
 from ..net.units import mbps
 from ..obs.bus import EventBus
 from ..obs.events import (FleetCheckpointSaved, FleetCompleted,
-                          FleetShardCompleted, FleetStarted)
+                          FleetSessionCaptured, FleetShardCompleted,
+                          FleetStarted, FleetWorkerHeartbeat)
 from ..obs.metrics import (Histogram, MetricsRegistry, exponential_buckets,
                            linear_buckets)
+from ..obs.recorder import (RecorderConfig, ShardRecorder, empty_stats,
+                            merge_stats, rank_anomalies, save_manifest)
 from ..workloads.arrivals import (ARRIVAL_MODELS, DEFAULT_DEVICE_MIX,
                                   SessionArrivals, SessionDraw)
 from ..workloads.locations import Location, field_study_locations
@@ -76,6 +81,9 @@ CHECKPOINT_FILE = "fleet-checkpoint.json"
 CHECKPOINT_VERSION = 1
 #: Cap on per-session error samples carried by results and checkpoints.
 MAX_ERROR_SAMPLES = 20
+#: Cap on error samples each shard ships back; ``error_total`` carries
+#: the true count so the drop is never silent.
+SHARD_ERROR_SAMPLES = 5
 
 
 @dataclass
@@ -100,11 +108,19 @@ class FleetConfig:
     #: Sessions per shard: the memory/progress granularity.
     shard_size: int = 50
     kernel: str = "fast"
+    #: Inject the seeded §3.1 scheduler fault into this session index —
+    #: the deterministic anomaly used by capture tests and CI smokes.
+    #: Part of the campaign identity (it changes the simulation), so it
+    #: changes ``fleet_key``.
+    fault_session: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.sessions < 0:
             raise ValueError(f"sessions cannot be negative: "
                              f"{self.sessions!r}")
+        if self.fault_session is not None and self.fault_session < 0:
+            raise ValueError(f"fault_session cannot be negative: "
+                             f"{self.fault_session!r}")
         if self.arrival not in ARRIVAL_MODELS:
             raise ValueError(f"unknown arrival model {self.arrival!r}; "
                              f"known: {', '.join(ARRIVAL_MODELS)}")
@@ -247,8 +263,49 @@ def fold_session(registry: MetricsRegistry, draw: SessionDraw,
                        ARRIVAL_HOUR_BOUNDS).observe(draw.arrival_hour)
 
 
+def _peak_rss_kb() -> int:
+    """This process's peak RSS in KiB (0 where unavailable)."""
+    try:
+        import resource
+    except ImportError:                                # pragma: no cover
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":                       # pragma: no cover
+        peak /= 1024  # ru_maxrss is bytes on macOS, KiB on Linux
+    return int(peak)
+
+
+@contextmanager
+def _scheduler_fault() -> Iterator[None]:
+    """Break Algorithm 1 for the duration: every transfer start arms the
+    deadline scheduler (tight window) and then disables *all* paths —
+    the seeded §3.1 invariant violation the ``path-control`` checker
+    exists to catch.  Forcing the arm makes the fault independent of
+    whether the session's own deadlines would have activated MP-DASH,
+    so a faulted session always yields ERROR verdicts.
+    """
+    from ..core.scheduler import DeadlineAwareScheduler
+
+    orig = DeadlineAwareScheduler.on_transfer_start
+
+    def faulty(scheduler, now, transfer, conn):
+        if scheduler._pending is None:
+            scheduler._pending = (transfer.total_bytes, 1.0)
+        orig(scheduler, now, transfer, conn)
+        if scheduler.active:  # Algorithm 1 broken: everything off
+            for name in conn.path_names():
+                conn.request_path_state(name, False)
+
+    DeadlineAwareScheduler.on_transfer_start = faulty
+    try:
+        yield
+    finally:
+        DeadlineAwareScheduler.on_transfer_start = orig
+
+
 def _run_shard(config: FleetConfig, shard: int,
-               runner: Optional[Callable[[SessionConfig], Any]] = None
+               runner: Optional[Callable[[SessionConfig], Any]] = None,
+               recorder: Optional[RecorderConfig] = None
                ) -> Dict[str, Any]:
     """Simulate one shard and return only its folded state.
 
@@ -257,36 +314,60 @@ def _run_shard(config: FleetConfig, shard: int,
     (with a bounded error sample) and the shard continues, so one bad
     draw cannot void its 49 neighbours.  The return value is a plain
     JSON-ready dict — never result objects — which is what keeps parent
-    memory independent of fleet size.
+    memory independent of fleet size; with a ``recorder``, captured
+    traces go straight from here to disk and only their summary records
+    ride the wire.
     """
     workload = config.workload()
     run = runner if runner is not None else run_session
+    rec = (ShardRecorder(recorder, fleet_key(config), shard)
+           if recorder is not None else None)
     registry = MetricsRegistry()
     failures = 0
     completed = 0
     sim_seconds = 0.0
     errors: List[str] = []
+    last_index = -1
     began = time.perf_counter()
     for index in config.shard_range(shard):
         draw = workload.draw(index)
+        last_index = index
+        cfg = session_config(config, draw)
+        if rec is not None:
+            cfg = replace(cfg, record_trace=True)
         try:
-            result = run(session_config(config, draw))
+            if config.fault_session == index:
+                with _scheduler_fault():
+                    result = run(cfg)
+            else:
+                result = run(cfg)
         except Exception as exc:
             failures += 1
             registry.counter("repro_fleet_session_failures_total").inc()
-            if len(errors) < 5:
+            if len(errors) < SHARD_ERROR_SAMPLES:
                 errors.append(f"session {index}: "
                               f"{type(exc).__name__}: {exc}")
+            if rec is not None:
+                rec.record_failure(index,
+                                   f"{type(exc).__name__}: {exc}")
             continue
         fold_session(registry, draw, result.metrics,
                      dict(result.scheduler_stats), result.finished,
                      result.session_duration)
         completed += 1
         sim_seconds += result.session_duration
+        if rec is not None:
+            rec.observe(index, result)
+    if rec is not None:
+        rec.flush()
     return {"shard": shard, "sessions": completed, "failures": failures,
-            "errors": errors, "sim_seconds": sim_seconds,
+            "errors": errors, "error_total": failures,
+            "sim_seconds": sim_seconds,
             "registry": registry.to_dict(),
-            "elapsed": time.perf_counter() - began}
+            "elapsed": time.perf_counter() - began,
+            "worker": os.getpid(), "peak_rss_kb": _peak_rss_kb(),
+            "last_index": last_index,
+            "recorder": rec.payload() if rec is not None else None}
 
 
 # ----------------------------------------------------------------------
@@ -298,17 +379,24 @@ def checkpoint_path(checkpoint_dir: str) -> str:
 
 def save_checkpoint(path: str, key: str, shards_done: int, sessions: int,
                     failures: int, sim_seconds: float, errors: List[str],
-                    registry: MetricsRegistry) -> None:
+                    registry: MetricsRegistry, error_total: int = 0,
+                    recorder_state: Optional[Dict[str, Any]] = None
+                    ) -> None:
     """Atomically persist the population state through ``shards_done``.
 
     Temp file + rename (the ResultCache pattern): a campaign killed
     mid-write leaves the previous checkpoint intact, never a truncated
-    one, so ``--resume`` always finds a loadable prefix.
+    one, so ``--resume`` always finds a loadable prefix.  The optional
+    ``recorder_state`` (merged stats + anomaly records) rides along so a
+    resumed campaign's triage view still covers the pre-kill prefix.
     """
     payload = {"version": CHECKPOINT_VERSION, "fleet_key": key,
                "shards_done": shards_done, "sessions": sessions,
                "failures": failures, "sim_seconds": sim_seconds,
-               "errors": list(errors), "registry": registry.to_dict()}
+               "errors": list(errors), "error_total": error_total,
+               "registry": registry.to_dict()}
+    if recorder_state is not None:
+        payload["recorder"] = recorder_state
     tmp = f"{path}.tmp.{os.getpid()}"
     with open(tmp, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, sort_keys=True)
@@ -355,10 +443,29 @@ class FleetResult:
     checkpoint: Optional[str] = None
     #: Shards restored from a checkpoint rather than simulated this run.
     resumed_shards: int = 0
+    #: True per-session failure count (``errors`` is a bounded sample).
+    error_total: int = 0
+    #: Merged flight-recorder stats (None when the recorder was off).
+    recorder: Optional[Dict[str, Any]] = None
+    #: Capture records from the flight recorder, in session order.
+    anomalies: List[Dict[str, Any]] = field(default_factory=list)
+    #: Recorder artifact root (anomaly ``artifact`` paths are relative
+    #: to this).
+    record_dir: Optional[str] = None
 
     @property
     def completed(self) -> bool:
         return self.shards_done >= self.total_shards
+
+    @property
+    def errors_dropped(self) -> int:
+        """Failures beyond the bounded ``errors`` sample."""
+        return max(0, self.error_total - len(self.errors))
+
+    def triage(self, top: Optional[int] = None) -> List[Dict[str, Any]]:
+        """Captured anomalies ranked worst-first (see
+        :func:`~repro.obs.recorder.rank_anomalies`)."""
+        return rank_anomalies(self.anomalies, top)
 
     def registry_json(self) -> str:
         """Canonical JSON of the population registry.
@@ -424,14 +531,31 @@ class FleetResult:
                 "sim_seconds": self.sim_seconds,
                 "resumed_shards": self.resumed_shards,
                 "checkpoint": self.checkpoint, "errors": list(self.errors),
+                "error_total": self.error_total,
+                "errors_dropped": self.errors_dropped,
+                "recorder": self.recorder,
+                "anomalies": list(self.anomalies),
                 "population": self.population(),
                 "registry": self.registry.to_dict()}
 
-    def export_report(self, path: str) -> None:
-        """Write the self-contained HTML population report to ``path``."""
+    def export_report(self, path: str, triage_top: int = 0) -> None:
+        """Write the self-contained HTML population report to ``path``.
+
+        With ``triage_top > 0``, the worst ``triage_top`` captured
+        anomalies that have trace artifacts are additionally rendered as
+        mini session reports (``anomaly-<index>.html`` beside ``path``,
+        via the offline :func:`~repro.obs.report.session_report_html`
+        pipeline) and linked from the fleet report's anomalies panel.
+        """
+        from ..obs.recorder import render_anomaly_reports
         from ..obs.report import fleet_report_html, write_report
 
-        write_report(path, fleet_report_html(self))
+        links: Dict[int, str] = {}
+        if triage_top > 0 and self.anomalies and self.record_dir:
+            links = render_anomaly_reports(
+                self.record_dir, self.triage(triage_top),
+                os.path.dirname(os.path.abspath(path)))
+        write_report(path, fleet_report_html(self, anomaly_links=links))
 
 
 # ----------------------------------------------------------------------
@@ -440,7 +564,8 @@ class FleetResult:
 def _pool_run_shards(config: FleetConfig, start_shard: int, end_shard: int,
                      jobs: int, retries: int,
                      runner: Optional[Callable[[SessionConfig], Any]],
-                     commit: Callable[[Dict[str, Any]], None]) -> None:
+                     commit: Callable[[Dict[str, Any]], None],
+                     recorder: Optional[RecorderConfig] = None) -> None:
     """Fan shards out over a process pool, committing strictly in order.
 
     At most ``jobs`` shards are in flight; results that finish out of
@@ -475,7 +600,8 @@ def _pool_run_shards(config: FleetConfig, start_shard: int, end_shard: int,
                 shard = to_submit[0]
                 attempts[shard] = attempts.get(shard, 0) + 1
                 try:
-                    future = pool.submit(_run_shard, config, shard, runner)
+                    future = pool.submit(_run_shard, config, shard,
+                                         runner, recorder)
                 except BrokenProcessPool:
                     attempts[shard] -= 1
                     pool.shutdown(wait=False)
@@ -528,7 +654,8 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
               checkpoint_every: int = 10, resume: bool = False,
               stop_after: Optional[int] = None, retries: int = 1,
               bus: Optional[EventBus] = None,
-              runner: Optional[Callable[[SessionConfig], Any]] = None
+              runner: Optional[Callable[[SessionConfig], Any]] = None,
+              recorder: Optional[RecorderConfig] = None
               ) -> FleetResult:
     """Run (or resume) one fleet campaign.
 
@@ -542,6 +669,16 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
     mid-campaign kill in tests and smoke runs.  ``runner`` replaces
     :func:`~repro.experiments.runner.run_session` per session (picklable
     module-level callable when ``jobs > 1``).
+
+    ``recorder`` arms the flight recorder: workers judge every session
+    against the capture triggers, write triggered traces as gzip
+    artifacts under ``recorder.artifact_dir``, and the parent merges
+    stats and anomaly records, republishes them as
+    :class:`~repro.obs.events.FleetWorkerHeartbeat` /
+    :class:`~repro.obs.events.FleetSessionCaptured` bus events, and
+    maintains the campaign's triage manifest.  Recording is purely
+    observational — it never changes ``fleet_key`` or the population
+    registry.
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1: {jobs!r}")
@@ -568,8 +705,11 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
     failures = 0
     sim_seconds = 0.0
     errors: List[str] = []
+    error_total = 0
     shards_done = 0
     resumed_shards = 0
+    rec_stats = empty_stats() if recorder is not None else None
+    anomalies: List[Dict[str, Any]] = []
     ckpt_file: Optional[str] = None
     if checkpoint_dir is not None:
         os.makedirs(checkpoint_dir, exist_ok=True)
@@ -583,7 +723,12 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
                 failures = int(payload["failures"])
                 sim_seconds = float(payload["sim_seconds"])
                 errors = list(payload.get("errors", []))
+                error_total = int(payload.get("error_total", failures))
                 resumed_shards = shards_done
+                restored = payload.get("recorder")
+                if recorder is not None and restored is not None:
+                    merge_stats(rec_stats, restored.get("stats", {}))
+                    anomalies = list(restored.get("records", []))
 
     end_shard = total
     if stop_after is not None:
@@ -592,38 +737,74 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
 
     uncheckpointed = 0
 
+    def recorder_state() -> Optional[Dict[str, Any]]:
+        if recorder is None:
+            return None
+        return {"stats": rec_stats, "records": anomalies}
+
     def commit(payload: Dict[str, Any]) -> None:
         nonlocal sessions, failures, sim_seconds, shards_done
-        nonlocal uncheckpointed
+        nonlocal uncheckpointed, error_total
         registry.merge(MetricsRegistry.from_dict(payload["registry"]))
         sessions += payload["sessions"]
         failures += payload["failures"]
         sim_seconds += payload["sim_seconds"]
+        error_total += int(payload.get("error_total",
+                                       payload["failures"]))
         for sample in payload["errors"]:
             if len(errors) >= MAX_ERROR_SAMPLES:
                 break
             errors.append(sample)
         shards_done += 1
         uncheckpointed += 1
+        captured = 0
+        rec_payload = payload.get("recorder")
+        if recorder is not None and rec_payload is not None:
+            merge_stats(rec_stats, rec_payload["stats"])
+            anomalies.extend(rec_payload["records"])
+            captured = int(rec_payload["stats"].get("captured", 0))
         bus.publish(FleetShardCompleted(
             clock(), payload["shard"], payload["sessions"],
             payload["failures"], payload["elapsed"]))
+        bus.publish(FleetWorkerHeartbeat(
+            clock(), worker=int(payload.get("worker", 0)),
+            shard=payload["shard"], sessions=payload["sessions"],
+            failures=payload["failures"],
+            sim_seconds=payload["sim_seconds"],
+            elapsed=payload["elapsed"],
+            peak_rss_kb=int(payload.get("peak_rss_kb", 0)),
+            last_index=int(payload.get("last_index", -1)),
+            captured=captured))
+        if recorder is not None and rec_payload is not None:
+            for record in rec_payload["records"]:
+                bus.publish(FleetSessionCaptured(
+                    clock(), session=record["index"],
+                    shard=record["shard"], reason=record["reason"],
+                    score=float(record.get("score") or 0.0),
+                    artifact=record.get("artifact") or ""))
         if ckpt_file is not None and (uncheckpointed >= checkpoint_every
                                       or shards_done == end_shard):
             save_checkpoint(ckpt_file, key, shards_done, sessions,
-                            failures, sim_seconds, errors, registry)
+                            failures, sim_seconds, errors, registry,
+                            error_total=error_total,
+                            recorder_state=recorder_state())
             uncheckpointed = 0
             bus.publish(FleetCheckpointSaved(clock(), shards_done,
                                              ckpt_file))
+            if recorder is not None:
+                save_manifest(recorder.artifact_dir, key, rec_stats,
+                              anomalies)
 
     if shards_done < end_shard:
         if jobs == 1:
             for shard in range(shards_done, end_shard):
-                commit(_run_shard(config, shard, runner))
+                commit(_run_shard(config, shard, runner, recorder))
         else:
             _pool_run_shards(config, shards_done, end_shard, jobs,
-                             retries, runner, commit)
+                             retries, runner, commit, recorder)
 
+    if recorder is not None:
+        save_manifest(recorder.artifact_dir, key, rec_stats, anomalies)
     wall = time.perf_counter() - start
     bus.publish(FleetCompleted(wall, sessions, failures, shards_done))
     return FleetResult(
@@ -631,4 +812,7 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
         failures=failures, shards_done=shards_done, total_shards=total,
         jobs=jobs, wall_clock=wall, sim_seconds=sim_seconds,
         errors=errors, checkpoint=ckpt_file,
-        resumed_shards=resumed_shards)
+        resumed_shards=resumed_shards, error_total=error_total,
+        recorder=rec_stats, anomalies=anomalies,
+        record_dir=(recorder.artifact_dir if recorder is not None
+                    else None))

@@ -165,6 +165,15 @@ def fleet_table(result) -> str:
         ["unfinished sessions", str(pop["unfinished_sessions"])],
         ["wifi-only sessions", str(pop["wifi_only_sessions"])],
     ]
+    dropped = int(getattr(result, "errors_dropped", 0))
+    if dropped:
+        rows.append(["error samples",
+                     f"{len(result.errors)} shown (+{dropped} more)"])
+    recorder = getattr(result, "recorder", None)
+    if recorder is not None:
+        rows.append(["recorder captures",
+                     f"{recorder.get('captured', 0)} of "
+                     f"{recorder.get('sessions', 0)} judged"])
     state = "complete" if pop["completed"] else "partial"
     title = (f"fleet: {state}, wall {result.wall_clock:.2f}s on "
              f"{result.jobs} job(s)")

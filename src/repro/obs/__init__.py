@@ -45,8 +45,9 @@ from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      ChunkDownloaded, ChunkRequested,
                      CwndRestarted, DeadlineArmed, DeadlineDisarmed,
                      DeadlineExtended, DeadlineMissed, FleetCheckpointSaved,
-                     FleetCompleted, FleetShardCompleted, FleetStarted,
-                     HttpRequestSent,
+                     FleetCompleted, FleetSessionCaptured,
+                     FleetShardCompleted, FleetStarted,
+                     FleetWorkerHeartbeat, HttpRequestSent,
                      HttpResponseReceived, MpDashArmed, MpDashSkipped,
                      PacketSent, PathSampled, PathStateRequested,
                      PlaybackEnded, PlaybackStarted, QualitySwitched,
@@ -56,20 +57,25 @@ from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      SweepRunFinished, SweepRunStarted, SweepRunSummarized,
                      SweepStarted, TraceEvent, TransferCompleted,
                      TransferStarted, event_from_dict, event_to_dict)
-from .live import SweepDashboard
+from .live import FleetDashboard, SweepDashboard
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       PathSampler, SessionMetricsCollector, Timeseries,
                       collector_from_trace, exponential_buckets,
                       linear_buckets, metric_from_dict, registry_from_trace)
 from .profile import ProfiledBus, Profiler
+from .recorder import (REASON_ORDER, RecorderConfig, ShardRecorder,
+                       find_manifests, load_manifest, rank_anomalies,
+                       render_anomaly_reports, replay_anomaly,
+                       save_manifest, triage_table)
 from .report import (bench_report_html, fleet_report_html,
-                     session_report_html, sweep_report_html, write_report)
+                     session_report_html, sweep_report_html,
+                     triage_report_html, write_report)
 from .spans import (Span, SpanBuilder, dump_chrome_trace, render_span_tree,
                     spans_from_trace, to_chrome_trace)
 from .trace_export import (Trace, TraceMeta, TraceRecorder,
                            analyzer_from_trace, dump_jsonl, dumps_jsonl,
-                           load_jsonl, loads_jsonl, metrics_from_trace,
-                           replay)
+                           gzip_bytes, load_jsonl, loads_jsonl,
+                           metrics_from_trace, replay)
 
 __all__ = [
     "ERROR", "EVENT_TYPES", "INFO", "RADIO_ACTIVE", "RADIO_IDLE",
@@ -78,13 +84,15 @@ __all__ = [
     "ChunkDownloaded", "ChunkRequested", "Counter", "CwndRestarted",
     "DeadlineArmed", "DeadlineDisarmed", "DeadlineExtended",
     "DeadlineMissed", "EventBus", "FleetCheckpointSaved", "FleetCompleted",
-    "FleetShardCompleted", "FleetStarted", "Gauge", "Histogram",
+    "FleetDashboard", "FleetSessionCaptured", "FleetShardCompleted",
+    "FleetStarted", "FleetWorkerHeartbeat", "Gauge", "Histogram",
     "HttpRequestSent",
     "HttpResponseReceived", "InvariantMonitor", "MetricsRegistry",
     "MpDashArmed", "MpDashSkipped", "PacketSent", "PathSampled",
     "PathSampler", "PathStateRequested", "PlaybackEnded",
     "PlaybackStarted", "ProfiledBus", "Profiler", "QualitySwitched",
-    "RadioStateChange", "SchedulerActivated", "SessionClosed",
+    "REASON_ORDER", "RadioStateChange", "RecorderConfig",
+    "SchedulerActivated", "SessionClosed", "ShardRecorder",
     "SessionMetricsCollector", "Span", "SpanBuilder", "StallEnd",
     "StallStart", "SubflowReconnected", "SubflowStateChange",
     "SweepCompleted", "SweepDashboard", "SweepRunFailed",
@@ -95,10 +103,13 @@ __all__ = [
     "bench_report_html", "check_trace", "collector_from_trace",
     "compare_reports", "dump_chrome_trace", "dump_jsonl", "dumps_jsonl",
     "event_from_dict", "event_to_dict", "exponential_buckets",
-    "fleet_report_html", "linear_buckets", "load_jsonl", "loads_jsonl",
-    "metric_from_dict", "metrics_from_trace",
-    "registry_from_trace", "render_span_tree", "replay", "run_bench",
-    "run_scenario", "session_report_html", "spans_from_trace",
-    "stock_checkers", "sweep_report_html", "to_chrome_trace",
+    "find_manifests", "fleet_report_html", "gzip_bytes",
+    "linear_buckets", "load_jsonl", "load_manifest", "loads_jsonl",
+    "metric_from_dict", "metrics_from_trace", "rank_anomalies",
+    "registry_from_trace", "render_anomaly_reports", "render_span_tree",
+    "replay", "replay_anomaly", "run_bench",
+    "run_scenario", "save_manifest", "session_report_html",
+    "spans_from_trace", "stock_checkers", "sweep_report_html",
+    "to_chrome_trace", "triage_report_html", "triage_table",
     "write_report",
 ]

@@ -220,6 +220,32 @@ def _run_fleet() -> Dict[str, Any]:
     return {"sim_seconds": result.sim_seconds, "events": None}
 
 
+def _run_fleet_rec() -> Dict[str, Any]:
+    """The ``fleet`` workload with the flight recorder armed at default
+    sampling, on an anomaly-free population.
+
+    The pair (``fleet``, ``fleet_rec``) states the recorder's overhead
+    contract: judging every session (offline invariant check, QoE
+    proxy, reservoir) plus writing the few bottom-k artifacts must cost
+    at most ~10% wall clock over the recorder-off run — asserted
+    against this report in CI.
+    """
+    import tempfile
+
+    from ..experiments.fleet import FleetConfig, run_fleet
+    from .recorder import RecorderConfig
+
+    with tempfile.TemporaryDirectory() as artifact_dir:
+        result = run_fleet(
+            FleetConfig(sessions=96, shard_size=16,
+                        video_duration=20.0, seed=2016),
+            jobs=1, recorder=RecorderConfig(artifact_dir=artifact_dir))
+        if result.failures:
+            raise RuntimeError(f"fleet_rec benchmark had "
+                               f"{result.failures} failed sessions")
+    return {"sim_seconds": result.sim_seconds, "events": None}
+
+
 #: Scenario name -> callable returning {"sim_seconds": float,
 #: "events": Optional[int]}.  Measured order is the listed order.
 SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
@@ -228,6 +254,7 @@ SCENARIOS: Dict[str, Callable[[], Dict[str, Any]]] = {
     "mobility": _run_mobility,
     "sweep16": _run_sweep16,
     "fleet": _run_fleet,
+    "fleet_rec": _run_fleet_rec,
 }
 
 

@@ -385,6 +385,43 @@ class FleetCompleted(TraceEvent):
     shards: int
 
 
+@dataclass(frozen=True, slots=True)
+class FleetWorkerHeartbeat(TraceEvent):
+    """One worker's health snapshot, shipped with each shard result.
+
+    Workers cannot publish onto the parent's bus, so their telemetry
+    rides the existing result channel — the shard payload — and the
+    parent re-publishes it here at commit time.  ``worker`` is the
+    worker process id; ``peak_rss_kb`` is that process's high-water mark
+    (0 where ``resource`` is unavailable); ``captured`` counts traces
+    the flight recorder kept in this shard."""
+
+    worker: int
+    shard: int
+    sessions: int
+    failures: int
+    sim_seconds: float
+    elapsed: float
+    peak_rss_kb: int
+    last_index: int
+    captured: int
+
+
+@dataclass(frozen=True, slots=True)
+class FleetSessionCaptured(TraceEvent):
+    """The flight recorder kept one session's full trace.
+
+    ``artifact`` is the path relative to the recorder's artifact root
+    (empty for trace-less failure records); ``score`` is the reason-
+    specific badness used by triage ranking."""
+
+    session: int
+    shard: int
+    reason: str
+    score: float
+    artifact: str
+
+
 # ----------------------------------------------------------------------
 # Energy (repro.energy)
 # ----------------------------------------------------------------------
@@ -415,7 +452,8 @@ EVENT_TYPES: Dict[str, type] = {
         PlaybackEnded, SessionClosed, RadioStateChange, SweepStarted,
         SweepRunStarted, SweepRunFinished, SweepRunSummarized,
         SweepRunFailed, SweepCompleted, FleetStarted, FleetShardCompleted,
-        FleetCheckpointSaved, FleetCompleted,
+        FleetCheckpointSaved, FleetCompleted, FleetWorkerHeartbeat,
+        FleetSessionCaptured,
     )
 }
 

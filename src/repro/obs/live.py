@@ -1,14 +1,18 @@
-"""Live terminal dashboard for parameter sweeps.
+"""Live terminal dashboards for parameter sweeps and fleet campaigns.
 
 :class:`SweepDashboard` subscribes to the ``Sweep*`` events the sweep
 engine already publishes and redraws a small plain-ANSI status block —
 per-worker progress, cache hits, failures, and rolling QoE aggregates
 from :class:`~repro.obs.events.SweepRunSummarized` — after every event
-(throttled by the sweep clock).
+(throttled by the sweep clock).  :class:`FleetDashboard` does the same
+for fleet campaigns from the ``Fleet*`` stream: shard progress, per-
+worker lanes fed by :class:`~repro.obs.events.FleetWorkerHeartbeat`
+(throughput, peak RSS, straggler flagging), flight-recorder captures,
+and an ETA.
 
-Two contracts, both load-bearing:
+Two contracts, both load-bearing and shared by both dashboards:
 
-* **The machine-parseable stdout contract is never touched.**  The
+* **The machine-parseable stdout contract is never touched.**  A
   dashboard draws exclusively on its ``stream`` (``sys.stderr`` by
   default); summary/JSON payloads on stdout stay clean even mid-redraw.
 * **Zero overhead when disabled.**  When stdout or the stream is not a
@@ -22,8 +26,11 @@ import sys
 from typing import IO, Dict, List, Optional
 
 from .bus import EventBus
-from .events import (SweepCompleted, SweepRunFailed, SweepRunFinished,
-                     SweepRunStarted, SweepRunSummarized, SweepStarted)
+from .events import (FleetCheckpointSaved, FleetCompleted,
+                     FleetSessionCaptured, FleetShardCompleted,
+                     FleetStarted, FleetWorkerHeartbeat, SweepCompleted,
+                     SweepRunFailed, SweepRunFinished, SweepRunStarted,
+                     SweepRunSummarized, SweepStarted)
 
 #: Redraws are rate-limited to one per this many seconds of sweep-clock
 #: time, except for start/fail/complete which always draw.
@@ -31,8 +38,67 @@ _MIN_INTERVAL = 0.2
 
 _BAR_WIDTH = 26
 
+#: A worker lane is flagged as a straggler when its latest shard took
+#: more than this multiple of the median shard wall time.
+_STRAGGLER_FACTOR = 2.0
 
-class SweepDashboard:
+
+class _LiveDashboard:
+    """Shared redraw machinery: TTY detection, throttling, ANSI repaint.
+
+    Subclasses implement :meth:`attach` (their event subscriptions) and
+    :meth:`render_lines` (their frame); everything about *how* frames
+    reach the terminal — and the two contracts in the module docstring —
+    lives here, once.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 enabled: Optional[bool] = None) -> None:
+        self.stream: IO[str] = stream if stream is not None else sys.stderr
+        if enabled is None:
+            enabled = self._isatty(sys.stdout) and self._isatty(self.stream)
+        self.enabled = bool(enabled)
+        self._last_draw = float("-inf")
+        self._drawn_lines = 0
+
+    @staticmethod
+    def _isatty(stream: object) -> bool:
+        isatty = getattr(stream, "isatty", None)
+        try:
+            return bool(isatty()) if callable(isatty) else False
+        except (ValueError, OSError):
+            return False
+
+    def attach(self, bus: EventBus) -> None:
+        raise NotImplementedError
+
+    def render_lines(self) -> List[str]:
+        """The current frame, as plain text lines (ANSI-free)."""
+        raise NotImplementedError
+
+    def _draw(self, now: float, force: bool = False,
+              final: bool = False) -> None:
+        if not force and now - self._last_draw < _MIN_INTERVAL:
+            return
+        self._last_draw = now
+        lines = self.render_lines()
+        out: List[str] = []
+        if self._drawn_lines:
+            out.append(f"\x1b[{self._drawn_lines}F")  # up to first line
+        for line in lines:
+            out.append("\x1b[2K" + line + "\n")
+        if final:
+            self._drawn_lines = 0
+        else:
+            self._drawn_lines = len(lines)
+        try:
+            self.stream.write("".join(out))
+            self.stream.flush()
+        except (ValueError, OSError):
+            self.enabled = False  # stream closed mid-run; go quiet
+
+
+class SweepDashboard(_LiveDashboard):
     """Rolling sweep status on a terminal, fed by the sweep's own bus.
 
     Parameters
@@ -48,10 +114,7 @@ class SweepDashboard:
 
     def __init__(self, stream: Optional[IO[str]] = None,
                  enabled: Optional[bool] = None) -> None:
-        self.stream: IO[str] = stream if stream is not None else sys.stderr
-        if enabled is None:
-            enabled = self._isatty(sys.stdout) and self._isatty(self.stream)
-        self.enabled = bool(enabled)
+        super().__init__(stream, enabled)
         self.total = 0
         self.jobs = 0
         self.done = 0
@@ -64,16 +127,6 @@ class SweepDashboard:
         self.cellular_bytes = 0.0
         self.violations = 0
         self._started_at = 0.0
-        self._last_draw = float("-inf")
-        self._drawn_lines = 0
-
-    @staticmethod
-    def _isatty(stream: object) -> bool:
-        isatty = getattr(stream, "isatty", None)
-        try:
-            return bool(isatty()) if callable(isatty) else False
-        except (ValueError, OSError):
-            return False
 
     # ------------------------------------------------------------------
     def attach(self, bus: EventBus) -> None:
@@ -159,23 +212,148 @@ class SweepDashboard:
             lines.append("qoe    -")
         return lines
 
-    def _draw(self, now: float, force: bool = False,
-              final: bool = False) -> None:
-        if not force and now - self._last_draw < _MIN_INTERVAL:
+
+class FleetDashboard(_LiveDashboard):
+    """Rolling fleet-campaign status: shards, worker lanes, captures.
+
+    Fed entirely by the parent-side ``Fleet*`` stream — one
+    :class:`~repro.obs.events.FleetWorkerHeartbeat` per committed shard
+    keeps a lane per worker process (shards done, simulated-seconds per
+    wall-second, peak RSS, last session index), the latest
+    :class:`~repro.obs.events.FleetSessionCaptured` is surfaced on the
+    recorder line, and the ETA extrapolates from this run's commit rate.
+    A worker whose latest shard took more than ``_STRAGGLER_FACTOR``
+    times the median shard wall time is flagged ``straggler``.
+    """
+
+    def __init__(self, stream: Optional[IO[str]] = None,
+                 enabled: Optional[bool] = None) -> None:
+        super().__init__(stream, enabled)
+        self.total_sessions = 0
+        self.total_shards = 0
+        self.jobs = 0
+        self.shards_done = 0
+        self.sessions = 0
+        self.failures = 0
+        self.captured = 0
+        self.checkpointed_shards = 0
+        self.last_capture: Optional[str] = None
+        #: worker pid -> lane state (shards, rate, RSS, last shard...).
+        self.workers: Dict[int, Dict[str, float]] = {}
+        self._elapsed: List[float] = []  # recent shard wall times
+        self._started_at = 0.0
+        self._committed_this_run = 0
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> None:
+        """Subscribe to the fleet events — or to nothing when disabled."""
+        if not self.enabled:
             return
-        self._last_draw = now
-        lines = self.render_lines()
-        out: List[str] = []
-        if self._drawn_lines:
-            out.append(f"\x1b[{self._drawn_lines}F")  # up to first line
-        for line in lines:
-            out.append("\x1b[2K" + line + "\n")
-        if final:
-            self._drawn_lines = 0
-        else:
-            self._drawn_lines = len(lines)
-        try:
-            self.stream.write("".join(out))
-            self.stream.flush()
-        except (ValueError, OSError):
-            self.enabled = False  # stream closed mid-sweep; go quiet
+        bus.subscribe(FleetStarted, self._on_started)
+        bus.subscribe(FleetShardCompleted, self._on_shard)
+        bus.subscribe(FleetWorkerHeartbeat, self._on_heartbeat)
+        bus.subscribe(FleetSessionCaptured, self._on_captured)
+        bus.subscribe(FleetCheckpointSaved, self._on_checkpoint)
+        bus.subscribe(FleetCompleted, self._on_completed)
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def _on_started(self, event: FleetStarted) -> None:
+        self.total_sessions = event.sessions
+        self.total_shards = event.shards
+        self.jobs = event.jobs
+        self._started_at = event.time
+        self._draw(event.time, force=True)
+
+    def _on_shard(self, event: FleetShardCompleted) -> None:
+        self.shards_done += 1
+        self.sessions += event.sessions
+        self.failures += event.failures
+        self._committed_this_run += 1
+        self._elapsed.append(event.elapsed)
+        if len(self._elapsed) > 64:
+            del self._elapsed[0]
+        self._draw(event.time)
+
+    def _on_heartbeat(self, event: FleetWorkerHeartbeat) -> None:
+        self.captured += event.captured
+        lane = self.workers.setdefault(event.worker, {
+            "shards": 0, "sessions": 0, "sim_seconds": 0.0,
+            "elapsed": 0.0, "peak_rss_kb": 0, "last_index": -1,
+            "last_elapsed": 0.0})
+        lane["shards"] += 1
+        lane["sessions"] += event.sessions
+        lane["sim_seconds"] += event.sim_seconds
+        lane["elapsed"] += event.elapsed
+        lane["peak_rss_kb"] = max(lane["peak_rss_kb"], event.peak_rss_kb)
+        lane["last_index"] = event.last_index
+        lane["last_elapsed"] = event.elapsed
+        self._draw(event.time)
+
+    def _on_captured(self, event: FleetSessionCaptured) -> None:
+        self.last_capture = (f"#{event.session} {event.reason} "
+                             f"(score {event.score:.2f})")
+        self._draw(event.time, force=True)
+
+    def _on_checkpoint(self, event: FleetCheckpointSaved) -> None:
+        self.checkpointed_shards = event.shards_done
+        self._draw(event.time)
+
+    def _on_completed(self, event: FleetCompleted) -> None:
+        self.shards_done = event.shards
+        self.sessions = event.sessions
+        self.failures = event.failures
+        self._draw(event.time, force=True, final=True)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _median_elapsed(self) -> float:
+        if not self._elapsed:
+            return 0.0
+        ordered = sorted(self._elapsed)
+        return ordered[len(ordered) // 2]
+
+    def _eta_seconds(self, now: float) -> Optional[float]:
+        remaining = self.total_shards - self.shards_done
+        span = now - self._started_at
+        if remaining <= 0 or self._committed_this_run <= 0 or span <= 0:
+            return None
+        return remaining * span / self._committed_this_run
+
+    def render_lines(self) -> List[str]:
+        """The current frame, as plain text lines (ANSI-free)."""
+        fraction = (self.shards_done / self.total_shards
+                    if self.total_shards else 0.0)
+        filled = int(round(fraction * _BAR_WIDTH))
+        bar = "#" * filled + "." * (_BAR_WIDTH - filled)
+        eta = self._eta_seconds(self._last_draw)
+        lines = [
+            f"fleet [{bar}] {self.shards_done}/{self.total_shards} "
+            f"shards ({fraction:.0%})  sessions {self.sessions}  "
+            f"failed {self.failures}  workers {self.jobs}"
+            + (f"  eta ~{eta:.0f}s" if eta is not None else ""),
+        ]
+        median = self._median_elapsed()
+        for pid in sorted(self.workers)[:8]:
+            lane = self.workers[pid]
+            rate = (lane["sim_seconds"] / lane["elapsed"]
+                    if lane["elapsed"] > 0 else 0.0)
+            straggler = (len(self._elapsed) >= 4 and median > 0 and
+                         lane["last_elapsed"] > _STRAGGLER_FACTOR * median)
+            lines.append(
+                f"  w{pid}  shards {lane['shards']:.0f}  "
+                f"{rate:.1f} sim-s/s  "
+                f"rss {lane['peak_rss_kb'] / 1024:.0f} MB  "
+                f"last #{lane['last_index']:.0f} "
+                f"({lane['last_elapsed']:.1f}s)"
+                + ("  ** straggler" if straggler else ""))
+        if not self.workers:
+            lines.append("  workers -")
+        lines.append(
+            f"rec    captured {self.captured}"
+            + (f"  last {self.last_capture}" if self.last_capture else "")
+            + (f"  ckpt @{self.checkpointed_shards}"
+               if self.checkpointed_shards else ""))
+        return lines

@@ -911,11 +911,83 @@ def _fleet_failures_panel(result: Any) -> Optional[str]:
     if errors:
         items = "".join(f'<li><span class="mono">{escape(e)}</span></li>'
                         for e in errors)
+        dropped = int(getattr(result, "errors_dropped", 0))
+        if dropped:
+            items += (f'<li><span class="mono">(+{dropped} more '
+                      f"failure(s) beyond the bounded sample)"
+                      "</span></li>")
         parts.append(f'<ul class="flat">{items}</ul>')
     return _panel("Session failures", *parts)
 
 
-def fleet_report_html(result: Any) -> str:
+def _anomaly_row(record: Mapping[str, Any],
+                 link: Optional[str]) -> List[str]:
+    def num(value: Any, fmt: str = "{:.2f}") -> str:
+        return "-" if value is None else fmt.format(value)
+
+    index = int(record.get("index", 0))
+    session = (f'<a href="{escape(link)}">#{index}</a>'
+               if link else f"#{index}")
+    artifact = record.get("artifact")
+    return [session, f"{record.get('shard', '-')}",
+            escape(str(record.get("reason", "-"))),
+            num(record.get("score")), num(record.get("qoe")),
+            num(record.get("misses"), "{:.0f}"),
+            num(record.get("stalls"), "{:.0f}"),
+            (f'<span class="mono">{escape(str(artifact))}</span>'
+             if artifact else "-")]
+
+
+_ANOMALY_HEADERS = [("session", False), ("shard", True),
+                    ("reason", False), ("score", True), ("qoe", True),
+                    ("misses", True), ("stalls", True),
+                    ("artifact", False)]
+
+
+def _fleet_anomalies_panel(result: Any,
+                           anomaly_links: Optional[Mapping[int, str]]
+                           ) -> Optional[str]:
+    """Flight-recorder summary plus the worst captured sessions.
+
+    Rendered only when the campaign ran with the recorder armed; rows
+    are ranked worst-first and capped, and sessions with a rendered mini
+    report (``anomaly_links``) link straight to it.
+    """
+    stats = getattr(result, "recorder", None)
+    if stats is None:
+        return None
+    from .recorder import rank_anomalies
+
+    links = dict(anomaly_links or {})
+    parts = [_tiles([
+        (f"{stats.get('sessions', 0)}", "", "sessions judged"),
+        (f"{stats.get('captured', 0)}", "", "traces captured"),
+        (f"{stats.get('oversized', 0)}", "", "oversized (dropped)"),
+        (f"{stats.get('bytes_written', 0) / 1e6:.2f}", "MB",
+         "artifact bytes"),
+    ])]
+    by_reason = stats.get("by_reason", {})
+    if any(by_reason.values()):
+        parts.append(_note("captures by reason: " + ", ".join(
+            f"{reason} {count}" for reason, count in by_reason.items()
+            if count)))
+    ranked = rank_anomalies(getattr(result, "anomalies", []), top=20)
+    if ranked:
+        parts.append(_table(_ANOMALY_HEADERS, [
+            _anomaly_row(record, links.get(int(record.get("index", -1))))
+            for record in ranked]))
+        total = len(getattr(result, "anomalies", []))
+        if total > len(ranked):
+            parts.append(_note(f"showing the worst {len(ranked)} of "
+                               f"{total} captured sessions"))
+    else:
+        parts.append(_note("no sessions crossed a capture trigger"))
+    return _panel("Captured anomalies", *parts)
+
+
+def fleet_report_html(result: Any,
+                      anomaly_links: Optional[Mapping[int, str]] = None
+                      ) -> str:
     """Render a fleet campaign's population-distribution report.
 
     ``result`` is duck-typed (a
@@ -923,6 +995,9 @@ def fleet_report_html(result: Any) -> str:
     only its registry and plain counters, never the experiment layer.
     A pure function of the merged registry, so jobs=1 and jobs=N runs
     of the same campaign render byte-identical documents.
+    ``anomaly_links`` maps captured session indices to (relative) hrefs
+    of rendered mini session reports; see
+    :meth:`~repro.experiments.fleet.FleetResult.export_report`.
     """
     registry = result.registry
     config = getattr(result, "config", None)
@@ -940,10 +1015,58 @@ def fleet_report_html(result: Any) -> str:
         _fleet_deadline_panel(registry),
         _fleet_mix_panel(registry),
     ]
+    anomalies = _fleet_anomalies_panel(result, anomaly_links)
+    if anomalies is not None:
+        sections.append(anomalies)
     failures = _fleet_failures_panel(result)
     if failures is not None:
         sections.append(failures)
     return _document("MP-DASH fleet report", " | ".join(bits), sections)
+
+
+def triage_report_html(records: Sequence[Mapping[str, Any]],
+                       fleet_key: str = "",
+                       links: Optional[Mapping[int, str]] = None,
+                       replays: Optional[Mapping[int, Mapping[str, Any]]]
+                       = None) -> str:
+    """Standalone anomaly-triage document (the ``repro triage --html``
+    output): ranked capture records, offline replay verdicts, and links
+    to rendered mini session reports."""
+    links = dict(links or {})
+    replays = dict(replays or {})
+    sections: List[str] = []
+    if records:
+        rows = []
+        for record in records:
+            index = int(record.get("index", -1))
+            row = _anomaly_row(record, links.get(index))
+            replay = replays.get(index)
+            if replay is None:
+                row.append("-")
+            elif not replay.get("replayed"):
+                row.append(escape(str(replay.get("error", "-"))))
+            else:
+                verdicts = replay.get("violations", {})
+                match = ("identical" if replay.get("matches_recorded")
+                         else "MISMATCH")
+                row.append(escape(
+                    f"{verdicts.get('error', 0)} error / "
+                    f"{verdicts.get('warning', 0)} warning ({match})"))
+            rows.append(row)
+        sections.append(_panel(
+            "Ranked anomalies",
+            _table(_ANOMALY_HEADERS + [("offline replay", False)], rows),
+            _note("replay = the captured trace re-judged offline via "
+                  "check_trace; 'identical' means the live and offline "
+                  "verdicts agree")))
+    else:
+        sections.append(_panel(
+            "Ranked anomalies",
+            _note("no captured anomalies under this artifact root")))
+    subtitle = (f"fleet {fleet_key[:16]}" if fleet_key
+                else "anomaly triage")
+    return _document("MP-DASH triage report",
+                     f"{subtitle} | {len(records)} record(s)", sections)
 
 
 def bench_report_html(reports: Sequence[BenchReport],

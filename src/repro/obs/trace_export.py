@@ -12,11 +12,17 @@ and cross-run diffing without re-simulating.
 
 Determinism: events are written in publication order with sorted JSON
 keys and compact separators, so two runs of the same seed configuration
-produce byte-identical files.
+produce byte-identical files.  Paths ending in ``.gz`` are transparently
+gzip-compressed on write and decompressed on read; the gzip header is
+pinned (``mtime=0``, no filename) so compressed traces are just as
+byte-stable as plain ones — the property the fleet flight recorder's
+re-run-captures-identical-artifacts contract rests on.
 """
 
 from __future__ import annotations
 
+import gzip
+import io
 import json
 from dataclasses import asdict, dataclass, field
 from typing import IO, Iterable, List, Union
@@ -76,12 +82,28 @@ def dumps_jsonl(events: Iterable[TraceEvent], meta: TraceMeta) -> str:
     return "\n".join(lines) + "\n"
 
 
+def _is_gzip_path(path: object) -> bool:
+    return str(path).endswith(".gz")
+
+
+def gzip_bytes(data: bytes) -> bytes:
+    """Deterministic gzip: fixed compression level, ``mtime=0``, no
+    embedded filename, so equal inputs compress to equal bytes."""
+    buffer = io.BytesIO()
+    with gzip.GzipFile(fileobj=buffer, mode="wb", mtime=0) as handle:
+        handle.write(data)
+    return buffer.getvalue()
+
+
 def dump_jsonl(path_or_file: Union[str, IO[str]],
                events: Iterable[TraceEvent], meta: TraceMeta) -> None:
-    """Write a JSONL trace to ``path_or_file``."""
+    """Write a JSONL trace to ``path_or_file`` (gzipped for ``.gz``)."""
     text = dumps_jsonl(events, meta)
     if hasattr(path_or_file, "write"):
         path_or_file.write(text)
+    elif _is_gzip_path(path_or_file):
+        with open(path_or_file, "wb") as handle:
+            handle.write(gzip_bytes(text.encode("utf-8")))
     else:
         with open(path_or_file, "w", encoding="utf-8") as handle:
             handle.write(text)
@@ -106,9 +128,12 @@ def loads_jsonl(text: str) -> Trace:
 
 
 def load_jsonl(path_or_file: Union[str, IO[str]]) -> Trace:
-    """Read a JSONL trace from ``path_or_file``."""
+    """Read a JSONL trace from ``path_or_file`` (gunzipped for ``.gz``)."""
     if hasattr(path_or_file, "read"):
         return loads_jsonl(path_or_file.read())
+    if _is_gzip_path(path_or_file):
+        with gzip.open(path_or_file, "rt", encoding="utf-8") as handle:
+            return loads_jsonl(handle.read())
     with open(path_or_file, "r", encoding="utf-8") as handle:
         return loads_jsonl(handle.read())
 

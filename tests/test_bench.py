@@ -141,13 +141,20 @@ class TestRunScenario:
 
     def test_scenario_registry_names(self):
         assert set(SCENARIOS) == {"single", "single_tick", "mobility",
-                                  "sweep16", "fleet"}
+                                  "sweep16", "fleet", "fleet_rec"}
 
     def test_fleet_scenario_measures(self):
         measured = run_scenario("fleet")
         assert measured.scenario == "fleet"
         assert measured.sim_seconds > 0
         assert measured.events is None  # spans many worker buses
+
+    def test_fleet_rec_scenario_measures(self):
+        # Same campaign as "fleet" with the flight recorder armed; the
+        # pair is what CI's recorder-overhead gate compares.
+        measured = run_scenario("fleet_rec")
+        assert measured.scenario == "fleet_rec"
+        assert measured.sim_seconds > 0
 
 
 class TestRunBench:

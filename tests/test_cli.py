@@ -169,6 +169,20 @@ class TestTrace:
         assert offline["events"] == live["events"]
         assert offline["source"] == path
 
+    def test_trace_gzip_export_then_load_round_trip(self, tmp_path,
+                                                    capsys):
+        path = str(tmp_path / "run.jsonl.gz")
+        assert main(["trace", "--duration", "40", "--wifi", "8",
+                     "--lte", "8", "--mpdash", "--out", path,
+                     "--json"]) == 0
+        live = json.loads(capsys.readouterr().out)
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"  # actually gzipped
+        assert main(["trace", "--load", path, "--json"]) == 0
+        offline = json.loads(capsys.readouterr().out)
+        assert offline["metrics"] == live["metrics"]
+        assert offline["events"] == live["events"]
+
     def test_trace_diff_reports_delta(self, tmp_path, capsys):
         base = str(tmp_path / "vanilla.jsonl")
         assert main(["trace", "--duration", "40", "--wifi", "8",
@@ -559,4 +573,106 @@ class TestFleet:
     def test_bad_args_exit_2(self, capsys):
         assert main(["fleet", "--sessions", "-1"]) == 2
         assert main(["fleet", "--resume"]) == 2
+        capsys.readouterr()
+
+
+class TestFleetRecorderCli:
+    ARGS = ["fleet", "--sessions", "6", "--shard-size", "3",
+            "--duration", "8", "--seed", "3"]
+
+    def record_args(self, tmp_path, extra=()):
+        return self.ARGS + ["--record-dir", str(tmp_path / "records"),
+                            "--fault-session", "2", *extra]
+
+    def test_record_then_triage_end_to_end(self, tmp_path, capsys):
+        assert main(self.record_args(tmp_path, ["--json"])) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["recorder"]["captured"] >= 1
+        assert any(r["index"] == 2 and r["reason"] == "violation"
+                   for r in payload["anomalies"])
+        records = str(tmp_path / "records")
+        assert main(["triage", "--record-dir", records, "--top", "3",
+                     "--json"]) == 0
+        triaged = json.loads(capsys.readouterr().out)
+        assert triaged["stats"] == payload["recorder"]
+        worst = triaged["records"][0]
+        assert worst["index"] == 2 and worst["reason"] == "violation"
+        assert worst["replay"]["replayed"] is True
+        assert worst["replay"]["matches_recorded"] is True
+
+    def test_progress_lines_announce_captures(self, capsys):
+        import tempfile
+
+        with tempfile.TemporaryDirectory() as records:
+            assert main(self.ARGS + ["--record-dir", records,
+                                     "--fault-session", "1"]) == 0
+        err = capsys.readouterr().err
+        assert "captured session 1 (violation" in err
+        assert "recorder captures" in err
+
+    def test_report_links_mini_anomaly_reports(self, tmp_path, capsys):
+        report = tmp_path / "out" / "fleet.html"
+        report.parent.mkdir()
+        assert main(self.record_args(
+            tmp_path, ["--json", "--report", str(report),
+                       "--triage-top", "2"])) == 0
+        capsys.readouterr()
+        html = report.read_text()
+        assert "Captured anomalies" in html
+        assert (tmp_path / "out" / "anomaly-00000002.html").is_file()
+        assert "anomaly-00000002.html" in html
+
+    def test_triage_table_and_html(self, tmp_path, capsys):
+        assert main(self.record_args(tmp_path, ["--json"])) == 0
+        capsys.readouterr()
+        html = tmp_path / "triage" / "triage.html"
+        html.parent.mkdir()
+        assert main(["triage", "--record-dir",
+                     str(tmp_path / "records"), "--top", "2",
+                     "--html", str(html)]) == 0
+        out = capsys.readouterr()
+        assert out.out == ""  # table mode keeps stdout machine-clean
+        assert "anomaly record(s)" in out.err
+        assert "triage report written" in out.err
+        assert html.stat().st_size > 500
+        assert (tmp_path / "triage" / "anomaly-00000002.html").is_file()
+
+    def test_triage_accepts_campaign_dir_and_key_prefix(self, tmp_path,
+                                                        capsys):
+        assert main(self.record_args(tmp_path, ["--json"])) == 0
+        payload = json.loads(capsys.readouterr().out)
+        key = payload["fleet_key"]
+        records = str(tmp_path / "records")
+        assert main(["triage", "--record-dir", records,
+                     "--fleet-key", key[:8], "--json"]) == 0
+        triaged = json.loads(capsys.readouterr().out)
+        assert triaged["fleet_key"] == key
+
+    def test_triage_without_manifest_exits_2(self, tmp_path, capsys):
+        assert main(["triage", "--record-dir",
+                     str(tmp_path / "empty")]) == 2
+        assert "no anomaly manifest" in capsys.readouterr().err
+
+    def test_triage_unknown_key_prefix_exits_2(self, tmp_path, capsys):
+        assert main(self.record_args(tmp_path, ["--json"])) == 0
+        capsys.readouterr()
+        assert main(["triage", "--record-dir",
+                     str(tmp_path / "records"),
+                     "--fleet-key", "zzzzzz"]) == 2
+        assert "no campaign matching" in capsys.readouterr().err
+
+    def test_triage_ambiguous_campaigns_exit_2(self, tmp_path, capsys):
+        records = str(tmp_path / "records")
+        for seed in ("3", "4"):
+            assert main(["fleet", "--sessions", "3", "--shard-size", "3",
+                         "--duration", "8", "--seed", seed,
+                         "--record-dir", records, "--json"]) == 0
+        capsys.readouterr()
+        assert main(["triage", "--record-dir", records]) == 2
+        assert "pick one with --fleet-key" in capsys.readouterr().err
+
+    def test_bad_recorder_args_exit_2(self, capsys):
+        assert main(self.ARGS + ["--record-dir", "x",
+                                 "--record-bottom-k", "-1"]) == 2
+        assert main(self.ARGS + ["--fault-session", "-5"]) == 2
         capsys.readouterr()

@@ -261,6 +261,59 @@ class TestFaultIsolation:
         assert result.failures == 60 and result.sessions == 0
         assert len(result.errors) <= 20
 
+    def test_error_total_counts_beyond_the_sample(self):
+        # Each shard ships at most 5 samples and the parent keeps at
+        # most 20, but the true failure count must never be silent.
+        config = small_fleet(sessions=60, shard_size=10,
+                             wifi_only_fraction=1.0)
+        result = run_fleet(config, runner=fail_wifi_only_runner)
+        assert result.error_total == 60
+        assert result.errors_dropped == 60 - len(result.errors)
+        assert result.errors_dropped > 0
+        table = fleet_table(result)
+        assert f"(+{result.errors_dropped} more)" in table
+        payload = result.to_dict()
+        assert payload["error_total"] == 60
+        assert payload["errors_dropped"] == result.errors_dropped
+
+    def test_error_total_equals_failures_when_nothing_dropped(self):
+        config = small_fleet(wifi_only_fraction=0.5)
+        result = run_fleet(config, runner=fail_wifi_only_runner)
+        assert result.error_total == result.failures
+        assert result.errors_dropped == 0
+        assert "error samples" not in fleet_table(result)
+
+    def test_error_total_survives_checkpoint_resume(self, tmp_path):
+        config = small_fleet(sessions=60, shard_size=10,
+                             wifi_only_fraction=1.0)
+        ckpt = str(tmp_path / "ckpt")
+        run_fleet(config, runner=fail_wifi_only_runner,
+                  checkpoint_dir=ckpt, checkpoint_every=1, stop_after=3)
+        resumed = run_fleet(config, runner=fail_wifi_only_runner,
+                            checkpoint_dir=ckpt, checkpoint_every=1,
+                            resume=True)
+        straight = run_fleet(config, runner=fail_wifi_only_runner)
+        assert resumed.error_total == straight.error_total == 60
+
+    def test_all_failed_fleet_has_wellformed_outputs(self):
+        # Zero successful sessions: stats pipeline must degrade to
+        # empty-population output, not divide-by-zero or raise.
+        config = small_fleet(wifi_only_fraction=1.0)
+        result = run_fleet(config, runner=fail_wifi_only_runner)
+        assert result.completed
+        assert result.sessions == 0 and result.failures == 8
+        population = result.population()
+        assert population["sessions"] == 0
+        assert population["bitrate_p50_mbps"] is None
+        assert population["stalled_session_fraction"] is None
+        assert population["sim_seconds"] == 0.0
+        table = fleet_table(result)
+        assert "sessions simulated" in table and "fleet: complete" in table
+        html = fleet_report_html(result)
+        ET.fromstring(html)
+        assert "no sessions folded yet" in html
+        json.dumps(result.to_dict(), sort_keys=True)
+
 
 @pytest.mark.skipif(not hasattr(signal, "SIGKILL"),
                     reason="needs SIGKILL (POSIX)")

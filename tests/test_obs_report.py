@@ -7,11 +7,15 @@ import pytest
 
 from repro.experiments import SessionConfig, run_session, run_sweep
 from repro.experiments.sweep import expand_grid
-from repro.obs import (BenchReport, EventBus, SweepCompleted,
+from repro.obs import (BenchReport, EventBus, FleetCheckpointSaved,
+                       FleetCompleted, FleetDashboard, FleetSessionCaptured,
+                       FleetShardCompleted, FleetStarted,
+                       FleetWorkerHeartbeat, SweepCompleted,
                        SweepDashboard, SweepRunFailed, SweepRunFinished,
                        SweepRunStarted, SweepRunSummarized, SweepStarted,
                        Trace, bench_report_html, dumps_jsonl, loads_jsonl,
-                       session_report_html, sweep_report_html, write_report)
+                       session_report_html, sweep_report_html,
+                       triage_report_html, write_report)
 from repro.obs.bench import BenchResult
 from repro.obs.trace_export import TraceMeta
 
@@ -263,3 +267,196 @@ class TestSweepDashboard:
                                  video_duration=20.0)], bus=bus)
         assert len(seen) == 1
         assert seen[0].mean_bitrate > 0
+
+    def test_zero_run_sweep_renders_without_dividing(self):
+        stream = io.StringIO()
+        dashboard = SweepDashboard(stream=stream, enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(SweepStarted(0.0, total=0, jobs=1))
+        bus.publish(SweepCompleted(0.0, total=0, succeeded=0, failed=0,
+                                   cache_hits=0))
+        lines = dashboard.render_lines()
+        assert "0/0" in lines[0] and "(0%)" in lines[0]
+        assert stream.getvalue() != ""
+
+    def test_cache_hit_only_sweep(self):
+        # Every run cached: no summaries ever arrive, the QoE line must
+        # stay a placeholder and the counters must still balance.
+        dashboard = SweepDashboard(stream=io.StringIO(), enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(SweepStarted(0.0, total=2, jobs=1))
+        for index in range(2):
+            bus.publish(SweepRunFinished(1.0 + index, "k", index,
+                                         elapsed=0.0, cached=True))
+        bus.publish(SweepCompleted(3.0, total=2, succeeded=2, failed=0,
+                                   cache_hits=2))
+        lines = dashboard.render_lines()
+        assert "2/2" in lines[0] and "cached 2" in lines[0]
+        assert lines[2] == "qoe    -"
+
+    def test_final_redraw_is_forced_and_resets_repaint(self):
+        stream = io.StringIO()
+        dashboard = SweepDashboard(stream=stream, enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(SweepStarted(0.0, total=1, jobs=1))
+        before = stream.getvalue()
+        # Inside the throttle window, but completion must draw anyway —
+        # and leave the cursor below the frame (no pending repaint).
+        bus.publish(SweepCompleted(0.01, total=1, succeeded=1, failed=0,
+                                   cache_hits=0))
+        assert stream.getvalue() != before
+        assert dashboard._drawn_lines == 0
+
+
+def drive_fleet_dashboard(dashboard):
+    """Publish a canned fleet event sequence through an attached bus."""
+    bus = EventBus()
+    dashboard.attach(bus)
+    bus.publish(FleetStarted(0.0, sessions=9, shards=3, jobs=2))
+    bus.publish(FleetShardCompleted(1.0, shard=0, sessions=3, failures=1,
+                                    elapsed=0.9))
+    bus.publish(FleetWorkerHeartbeat(1.0, worker=111, shard=0, sessions=3,
+                                     failures=1, sim_seconds=18.0,
+                                     elapsed=0.9, peak_rss_kb=204800,
+                                     last_index=2, captured=1))
+    bus.publish(FleetSessionCaptured(
+        1.1, session=1, shard=0, reason="violation", score=4.0,
+        artifact="ab/session-00000001.jsonl.gz"))
+    bus.publish(FleetCheckpointSaved(1.2, shards_done=1, path="ckpt"))
+    return bus
+
+
+class TestFleetDashboard:
+    def test_disabled_subscribes_nothing(self):
+        bus = EventBus()
+        before = bus.subscriber_count()
+        FleetDashboard(stream=io.StringIO(), enabled=False).attach(bus)
+        assert bus.subscriber_count() == before
+
+    def test_auto_disables_off_tty(self):
+        assert not FleetDashboard(stream=io.StringIO()).enabled
+
+    def test_render_lines_content(self):
+        dashboard = FleetDashboard(stream=io.StringIO(), enabled=True)
+        drive_fleet_dashboard(dashboard)
+        text = "\n".join(dashboard.render_lines())
+        assert "1/3 shards" in text and "sessions 3" in text
+        assert "failed 1" in text and "workers 2" in text
+        assert "w111" in text and "rss 200 MB" in text
+        assert "last #2" in text
+        assert "captured 1" in text
+        assert "#1 violation (score 4.00)" in text
+        assert "ckpt @1" in text
+
+    def test_eta_appears_once_commits_land(self):
+        dashboard = FleetDashboard(stream=io.StringIO(), enabled=True)
+        drive_fleet_dashboard(dashboard)
+        assert "eta ~" in dashboard.render_lines()[0]
+
+    def test_no_workers_placeholder(self):
+        dashboard = FleetDashboard(stream=io.StringIO(), enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(FleetStarted(0.0, sessions=9, shards=3, jobs=2))
+        assert "  workers -" in dashboard.render_lines()
+
+    def test_capture_forces_redraw_inside_throttle_window(self):
+        stream = io.StringIO()
+        dashboard = FleetDashboard(stream=stream, enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(FleetStarted(0.0, sessions=9, shards=3, jobs=1))
+        before = stream.getvalue()
+        bus.publish(FleetSessionCaptured(0.01, session=4, shard=1,
+                                         reason="stall", score=3.0,
+                                         artifact=""))
+        assert stream.getvalue() != before
+
+    def test_straggler_flagged_against_median(self):
+        dashboard = FleetDashboard(stream=io.StringIO(), enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        bus.publish(FleetStarted(0.0, sessions=50, shards=10, jobs=2))
+        for shard in range(4):
+            bus.publish(FleetShardCompleted(float(shard + 1), shard=shard,
+                                            sessions=5, failures=0,
+                                            elapsed=1.0))
+        bus.publish(FleetShardCompleted(9.0, shard=4, sessions=5,
+                                        failures=0, elapsed=5.0))
+        bus.publish(FleetWorkerHeartbeat(9.0, worker=7, shard=4,
+                                         sessions=5, failures=0,
+                                         sim_seconds=1.0, elapsed=5.0,
+                                         peak_rss_kb=0, last_index=24,
+                                         captured=0))
+        text = "\n".join(dashboard.render_lines())
+        assert "** straggler" in text
+
+    def test_completed_forces_final_redraw(self):
+        stream = io.StringIO()
+        dashboard = FleetDashboard(stream=stream, enabled=True)
+        bus = drive_fleet_dashboard(dashboard)
+        before = stream.getvalue()
+        bus.publish(FleetCompleted(1.21, sessions=9, failures=1, shards=3))
+        assert stream.getvalue() != before
+        assert dashboard._drawn_lines == 0
+        assert dashboard.shards_done == 3 and dashboard.sessions == 9
+
+    def test_draws_only_to_its_stream(self, capsys):
+        stream = io.StringIO()
+        drive_fleet_dashboard(FleetDashboard(stream=stream, enabled=True))
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert stream.getvalue() != ""
+
+    def test_closed_stream_disables_quietly(self):
+        stream = io.StringIO()
+        dashboard = FleetDashboard(stream=stream, enabled=True)
+        bus = EventBus()
+        dashboard.attach(bus)
+        stream.close()
+        bus.publish(FleetStarted(0.0, sessions=1, shards=1, jobs=1))
+        assert not dashboard.enabled
+
+
+class TestTriageReportHtml:
+    RECORDS = [
+        {"index": 5, "shard": 1, "reason": "violation", "score": 4.0,
+         "qoe": 0.2, "misses": 2, "stalls": 0,
+         "artifact": "ab/session-00000005.jsonl.gz"},
+        {"index": 9, "shard": 2, "reason": "failure", "score": 1.0,
+         "qoe": None, "misses": None, "stalls": None, "artifact": None},
+    ]
+
+    def test_well_formed_and_self_contained(self):
+        html = triage_report_html(self.RECORDS, fleet_key="deadbeefcafe")
+        parse_document(html)
+        assert_self_contained(html)
+        assert "deadbeefcafe" in html
+        assert "violation" in html and "failure" in html
+
+    def test_links_and_replay_verdicts_rendered(self):
+        html = triage_report_html(
+            self.RECORDS, fleet_key="deadbeefcafe",
+            links={5: "anomaly-00000005.html"},
+            replays={5: {"replayed": True, "matches_recorded": True,
+                         "violations": {"error": 4, "warning": 1}},
+                     9: {"replayed": False, "error": "no artifact"}})
+        parse_document(html)
+        assert 'href="anomaly-00000005.html"' in html
+        assert "4 error / 1 warning (identical)" in html
+        assert "no artifact" in html
+
+    def test_mismatch_is_loud(self):
+        html = triage_report_html(
+            self.RECORDS[:1],
+            replays={5: {"replayed": True, "matches_recorded": False,
+                         "violations": {"error": 0, "warning": 0}}})
+        assert "MISMATCH" in html
+
+    def test_empty_records_fallback(self):
+        html = triage_report_html([])
+        parse_document(html)
+        assert "no captured anomalies" in html

@@ -11,7 +11,7 @@ from repro.experiments import SessionConfig, run_session
 from repro.mptcp.activity import ActivityLog
 from repro.obs import (RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL, EventBus,
                        Trace, TraceMeta, TraceRecorder, dump_jsonl,
-                       dumps_jsonl, load_jsonl, loads_jsonl,
+                       dumps_jsonl, gzip_bytes, load_jsonl, loads_jsonl,
                        metrics_from_trace, replay)
 from repro.obs.events import PacketSent, StallStart
 
@@ -54,6 +54,38 @@ class TestRoundTrip:
         result.export_trace(str(path))
         trace = load_jsonl(str(path))
         assert trace.events == result.events
+
+    def test_gzip_round_trip_is_exact(self, tmp_path):
+        result = _short_session()
+        path = tmp_path / "session.jsonl.gz"
+        dump_jsonl(str(path), result.events, result.trace_meta)
+        trace = load_jsonl(str(path))
+        assert trace.meta == result.trace_meta
+        assert trace.events == result.events
+        assert dumps_jsonl(trace.events, trace.meta) == \
+            dumps_jsonl(result.events, result.trace_meta)
+
+    def test_gzip_and_plain_carry_the_same_trace(self, tmp_path):
+        result = _short_session()
+        plain = tmp_path / "session.jsonl"
+        packed = tmp_path / "session.jsonl.gz"
+        dump_jsonl(str(plain), result.events, result.trace_meta)
+        dump_jsonl(str(packed), result.events, result.trace_meta)
+        assert packed.stat().st_size < plain.stat().st_size
+        assert load_jsonl(str(packed)).events == \
+            load_jsonl(str(plain)).events
+
+    def test_gzip_bytes_is_deterministic(self, tmp_path):
+        # mtime is pinned, so equal traces compress to equal bytes —
+        # the property the flight recorder's artifact identity rests on.
+        result = _short_session()
+        text = dumps_jsonl(result.events, result.trace_meta).encode()
+        assert gzip_bytes(text) == gzip_bytes(text)
+        one = tmp_path / "one.jsonl.gz"
+        two = tmp_path / "two.jsonl.gz"
+        dump_jsonl(str(one), result.events, result.trace_meta)
+        dump_jsonl(str(two), result.events, result.trace_meta)
+        assert one.read_bytes() == two.read_bytes()
 
     def test_offline_metrics_identical_to_live(self):
         result = _short_session()
