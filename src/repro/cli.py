@@ -22,6 +22,9 @@ equivalent entry point, plus runners for the common experiments::
     python -m repro bench --load BENCH_ci.json --html bench.html
     python -m repro fleet --sessions 1000 --arrival diurnal --jobs 4 \
         --checkpoint-dir .fleet --report fleet.html
+    python -m repro why --load run.jsonl
+    python -m repro why --diff baseline.jsonl mpdash.jsonl
+    python -m repro why --record-dir .fleet-records --top 5 --json
     python -m repro locations
     python -m repro videos
 
@@ -52,11 +55,14 @@ from .obs import (BenchReport, EventBus, FleetCheckpointSaved,
                   FleetDashboard, FleetSessionCaptured,
                   FleetShardCompleted, RecorderConfig, SweepDashboard,
                   SweepRunFailed, SweepRunFinished, Trace,
+                  attribute_anomaly, attributions_from_trace,
                   bench_report_html, check_trace, compare_reports,
-                  dump_chrome_trace, dump_jsonl, load_jsonl,
+                  diff_traces, dump_chrome_trace, dump_jsonl, load_jsonl,
                   metrics_from_trace, registry_from_trace,
-                  render_span_tree, run_bench, session_report_html,
-                  spans_from_trace, stock_checkers, triage_report_html,
+                  render_attributions, render_span_tree, run_bench,
+                  session_report_html,
+                  spans_from_trace, stock_checkers,
+                  summarize_attributions, triage_report_html,
                   write_report)
 from .obs.spans import spans_to_dicts
 from .workloads import (ARRIVAL_MODELS, VIDEO_LADDERS,
@@ -361,7 +367,8 @@ def build_parser() -> argparse.ArgumentParser:
     triage.add_argument("--fleet-key", default=None, metavar="PREFIX",
                         help="campaign key prefix when DIR holds "
                              "several campaigns")
-    triage.add_argument("--top", type=int, default=10, metavar="K",
+    triage.add_argument("--top", type=_positive_int, default=10,
+                        metavar="K",
                         help="show the K worst anomalies (default 10)")
     triage.add_argument("--json", action="store_true",
                         help="machine-readable ranking + replay verdicts "
@@ -370,10 +377,48 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write the triage report (plus mini session "
                              "reports beside it) to FILE")
 
+    why = commands.add_parser(
+        "why", help="attribute every anomaly to a root cause: live "
+                    "session, loaded trace, recorded captures, or a "
+                    "two-trace diff")
+    _add_session_args(why)
+    why.add_argument("--load", metavar="FILE", default=None,
+                     help="attribute an exported trace (.jsonl or "
+                          ".jsonl.gz) instead of running a session")
+    why.add_argument("--diff", nargs=2, metavar=("A", "B"), default=None,
+                     help="differential attribution: align two traces "
+                          "of the same manifest chunk-by-chunk and rank "
+                          "what changed")
+    why.add_argument("--record-dir", metavar="DIR", default=None,
+                     help="attribute a campaign's flight-recorder "
+                          "captures under this artifact root")
+    why.add_argument("--fleet-key", default=None, metavar="PREFIX",
+                     help="campaign key prefix when DIR holds several "
+                          "campaigns")
+    why.add_argument("--top", type=_positive_int, default=10,
+                     metavar="K",
+                     help="explain at most the K worst entries "
+                          "(default 10)")
+    why.add_argument("--json", action="store_true",
+                     help="machine-readable verdicts on stdout")
+
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
     commands.add_parser("videos", help="list the Table-3 video ladders")
     return parser
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for ``--top``-style counts: > 0 or a clean error
+    (argparse turns the raise into a usage message and exit code 2)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not an integer: {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer: {text!r}")
+    return value
 
 
 def _add_session_args(parser: argparse.ArgumentParser) -> None:
@@ -953,6 +998,45 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_manifest(record_dir: str, fleet_key: Optional[str],
+                      prog: str):
+    """Locate exactly one campaign manifest under ``record_dir``.
+
+    Returns ``(recorder root, manifest dict)`` — artifact paths inside
+    records are relative to the root, the manifest's grandparent
+    directory — or ``(None, None)`` after printing the error (missing
+    manifest, unmatched or ambiguous ``--fleet-key``, unreadable file;
+    callers exit 2)."""
+    from .obs.recorder import find_manifests, load_manifest
+
+    manifests = find_manifests(record_dir)
+    if not manifests:
+        print(f"{prog}: no anomaly manifest under {record_dir}",
+              file=sys.stderr)
+        return None, None
+    if fleet_key is not None:
+        manifests = [m for m in manifests
+                     if os.path.basename(os.path.dirname(m))
+                     .startswith(fleet_key)]
+        if not manifests:
+            print(f"{prog}: no campaign matching key prefix "
+                  f"{fleet_key!r}", file=sys.stderr)
+            return None, None
+    if len(manifests) > 1:
+        keys = ", ".join(os.path.basename(os.path.dirname(m))
+                         for m in manifests)
+        print(f"{prog}: several campaigns under {record_dir} ({keys}); "
+              f"pick one with --fleet-key", file=sys.stderr)
+        return None, None
+    manifest_path = manifests[0]
+    try:
+        manifest = load_manifest(manifest_path)
+    except (OSError, ValueError) as exc:
+        print(f"{prog}: {exc}", file=sys.stderr)
+        return None, None
+    return os.path.dirname(os.path.dirname(manifest_path)), manifest
+
+
 def cmd_triage(args: argparse.Namespace) -> int:
     """Rank, replay, and render a campaign's flight-recorder captures.
 
@@ -960,41 +1044,14 @@ def cmd_triage(args: argparse.Namespace) -> int:
     2 when the artifact directory has no usable manifest or the
     ``--fleet-key`` prefix is missing/ambiguous.
     """
-    from .obs.recorder import (find_manifests, load_manifest,
-                               rank_anomalies, render_anomaly_reports,
+    from .obs.recorder import (rank_anomalies, render_anomaly_reports,
                                replay_anomaly, triage_table)
 
-    manifests = find_manifests(args.record_dir)
-    if not manifests:
-        print(f"repro triage: no anomaly manifest under "
-              f"{args.record_dir}", file=sys.stderr)
+    root, manifest = _resolve_manifest(args.record_dir, args.fleet_key,
+                                       "repro triage")
+    if manifest is None:
         return 2
-    if args.fleet_key is not None:
-        manifests = [m for m in manifests
-                     if os.path.basename(os.path.dirname(m))
-                     .startswith(args.fleet_key)]
-        if not manifests:
-            print(f"repro triage: no campaign matching key prefix "
-                  f"{args.fleet_key!r}", file=sys.stderr)
-            return 2
-    if len(manifests) > 1:
-        keys = ", ".join(os.path.basename(os.path.dirname(m))
-                         for m in manifests)
-        print(f"repro triage: several campaigns under "
-              f"{args.record_dir} ({keys}); pick one with --fleet-key",
-              file=sys.stderr)
-        return 2
-    manifest_path = manifests[0]
-    try:
-        manifest = load_manifest(manifest_path)
-    except (OSError, ValueError) as exc:
-        print(f"repro triage: {exc}", file=sys.stderr)
-        return 2
-    # Artifact paths in records are relative to the recorder *root*,
-    # the manifest's grandparent directory.
-    root = os.path.dirname(os.path.dirname(manifest_path))
-    ranked = rank_anomalies(manifest.get("records", []),
-                            top=max(args.top, 0) or None)
+    ranked = rank_anomalies(manifest.get("records", []), top=args.top)
     replays = {int(r["index"]): replay_anomaly(root, r) for r in ranked}
     if args.json:
         print(json.dumps(
@@ -1018,6 +1075,94 @@ def cmd_triage(args: argparse.Namespace) -> int:
             links=links, replays=replays))
         print(f"triage report written to {args.html} "
               f"({len(links)} mini report(s))", file=sys.stderr)
+    return 0
+
+
+def cmd_why(args: argparse.Namespace) -> int:
+    """Causal root-cause attribution: explain why anomalies happened.
+
+    Four modes, all pure functions of their traces: attribute a live
+    session, a ``--load``-ed export, a campaign's recorded captures
+    (``--record-dir``), or diff two arms (``--diff A B``).  Machine
+    verdicts go to stdout with ``--json``; human tables go to stderr.
+
+    Exit status: 0 on successful attribution (even when there is
+    nothing to explain), 2 on unloadable traces or manifest problems.
+    """
+    if args.diff is not None:
+        path_a, path_b = args.diff
+        try:
+            trace_a = load_jsonl(path_a)
+            trace_b = load_jsonl(path_b)
+        except (OSError, ValueError) as exc:
+            print(f"repro why: cannot load trace: {exc}",
+                  file=sys.stderr)
+            return 2
+        diff = diff_traces(trace_a, trace_b)
+        if args.json:
+            print(json.dumps(diff.to_dict(), sort_keys=True))
+        else:
+            print(f"diffing {path_a} (A) vs {path_b} (B)",
+                  file=sys.stderr)
+            print(diff.render(top=args.top), file=sys.stderr)
+        return 0
+
+    if args.record_dir is not None:
+        from .obs.recorder import rank_anomalies
+
+        root, manifest = _resolve_manifest(
+            args.record_dir, args.fleet_key, "repro why")
+        if manifest is None:
+            return 2
+        ranked = rank_anomalies(manifest.get("records", []),
+                                top=args.top)
+        verdicts = [dict(record, why=attribute_anomaly(root, record))
+                    for record in ranked]
+        if args.json:
+            print(json.dumps(
+                {"fleet_key": manifest.get("fleet_key", ""),
+                 "records": verdicts}, sort_keys=True))
+        else:
+            for record in verdicts:
+                why = record["why"]
+                if not why["attributed"]:
+                    line = f"unattributable ({why['error']})"
+                else:
+                    summary = why["summary"]
+                    line = (f"{summary['total']} verdict(s), top cause "
+                            f"{summary['top_cause']} (layer "
+                            f"{summary['top_layer']})")
+                print(f"session {record['index']} "
+                      f"[{record['reason']}]: {line}", file=sys.stderr)
+            if not verdicts:
+                print("no captured anomalies to attribute",
+                      file=sys.stderr)
+        return 0
+
+    if args.load is not None:
+        try:
+            trace = load_jsonl(args.load)
+        except (OSError, ValueError) as exc:
+            print(f"repro why: cannot load {args.load}: {exc}",
+                  file=sys.stderr)
+            return 2
+        print(f"attributing {args.load} offline", file=sys.stderr)
+    else:
+        # The sampler rides along so the network rules (bandwidth-drop,
+        # queue-buildup, estimator-drift) have per-path evidence.
+        result = run_session(_session_config(
+            args, record_trace=True, collect_metrics=True))
+        trace = Trace(meta=result.trace_meta,
+                      events=list(result.events))
+    attributions = attributions_from_trace(trace)
+    if args.json:
+        print(json.dumps(
+            {"attributions": [a.to_dict() for a in attributions],
+             "summary": summarize_attributions(attributions)},
+            sort_keys=True))
+    else:
+        print(render_attributions(attributions, top=args.top),
+              file=sys.stderr)
     return 0
 
 
@@ -1055,6 +1200,7 @@ _COMMANDS = {
     "report": cmd_report,
     "fleet": cmd_fleet,
     "triage": cmd_triage,
+    "why": cmd_why,
     "locations": cmd_locations,
     "videos": cmd_videos,
 }

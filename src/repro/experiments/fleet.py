@@ -55,6 +55,7 @@ from ..obs.metrics import (Histogram, MetricsRegistry, exponential_buckets,
                            linear_buckets)
 from ..obs.recorder import (RecorderConfig, ShardRecorder, empty_stats,
                             merge_stats, rank_anomalies, save_manifest)
+from ..obs.why import fold_attributions
 from ..workloads.arrivals import (ARRIVAL_MODELS, DEFAULT_DEVICE_MIX,
                                   SessionArrivals, SessionDraw)
 from ..workloads.locations import Location, field_study_locations
@@ -357,7 +358,11 @@ def _run_shard(config: FleetConfig, shard: int,
         completed += 1
         sim_seconds += result.session_duration
         if rec is not None:
-            rec.observe(index, result)
+            # The recorder judges every traced session; whatever its
+            # attribution walker explained folds straight into the shard
+            # registry, so root-cause histograms merge and resume exactly
+            # like every other fleet metric.
+            fold_attributions(registry, rec.observe(index, result))
     if rec is not None:
         rec.flush()
     return {"shard": shard, "sessions": completed, "failures": failures,

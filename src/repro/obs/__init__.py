@@ -10,8 +10,8 @@ player, and the energy model — publishes typed events onto a single
 and :mod:`repro.obs.trace_export` turns the stream into a JSONL trace that
 can be dumped, reloaded, and replayed into the analysis tool offline.
 
-On top of the stream sit four derived views, all bus subscribers and all
-reconstructible offline from a trace:
+On top of the stream sit five derived views, all bus subscribers or pure
+functions of a trace, all reconstructible offline:
 
 * :mod:`repro.obs.metrics` — counters, gauges, mergeable histograms, and
   timeseries (the standard session registry, Prometheus/JSON exposition);
@@ -21,7 +21,11 @@ reconstructible offline from a trace:
   type, subscriber handler, and simulator callback;
 * :mod:`repro.obs.check` — declarative invariant monitoring: stock
   checkers judge the stream against the paper's semantic contracts and
-  emit structured violations.
+  emit structured violations;
+* :mod:`repro.obs.why` — causal root-cause attribution: every deadline
+  miss, stall, and ERROR violation explained through a declarative rule
+  set, two traces diffed chunk-by-chunk, and blame histograms folded
+  into the fleet registry.
 
 :mod:`repro.obs.bench` is the performance counterpart: pinned scenarios
 measured for wall-clock, sim-time throughput, bus event rate, and peak
@@ -71,16 +75,20 @@ from .report import (bench_report_html, fleet_report_html,
                      session_report_html, sweep_report_html,
                      triage_report_html, write_report)
 from .spans import (Span, SpanBuilder, dump_chrome_trace, render_span_tree,
-                    spans_from_trace, to_chrome_trace)
+                    spans_from_trace, to_chrome_trace, transfer_chunk_map)
 from .trace_export import (Trace, TraceMeta, TraceRecorder,
                            analyzer_from_trace, dump_jsonl, dumps_jsonl,
                            gzip_bytes, load_jsonl, loads_jsonl,
                            metrics_from_trace, replay)
+from .why import (Attribution, TraceDiff, attribute_anomaly,
+                  attributions_from_trace, diff_traces,
+                  fold_attributions, render_attributions,
+                  summarize_attributions)
 
 __all__ = [
     "ERROR", "EVENT_TYPES", "INFO", "RADIO_ACTIVE", "RADIO_IDLE",
     "RADIO_TAIL", "SEVERITIES", "WARNING",
-    "BenchReport", "BenchResult", "CheckReport", "Checker",
+    "Attribution", "BenchReport", "BenchResult", "CheckReport", "Checker",
     "ChunkDownloaded", "ChunkRequested", "Counter", "CwndRestarted",
     "DeadlineArmed", "DeadlineDisarmed", "DeadlineExtended",
     "DeadlineMissed", "EventBus", "FleetCheckpointSaved", "FleetCompleted",
@@ -98,18 +106,24 @@ __all__ = [
     "SweepCompleted", "SweepDashboard", "SweepRunFailed",
     "SweepRunFinished", "SweepRunStarted", "SweepRunSummarized",
     "SweepStarted", "Timeseries", "Trace",
-    "TraceEvent", "TraceMeta", "TraceRecorder", "TransferCompleted",
+    "TraceDiff", "TraceEvent", "TraceMeta", "TraceRecorder",
+    "TransferCompleted",
     "TransferStarted", "Violation", "analyzer_from_trace",
+    "attribute_anomaly", "attributions_from_trace",
     "bench_report_html", "check_trace", "collector_from_trace",
-    "compare_reports", "dump_chrome_trace", "dump_jsonl", "dumps_jsonl",
+    "compare_reports", "diff_traces", "dump_chrome_trace", "dump_jsonl",
+    "dumps_jsonl",
     "event_from_dict", "event_to_dict", "exponential_buckets",
-    "find_manifests", "fleet_report_html", "gzip_bytes",
+    "find_manifests", "fleet_report_html", "fold_attributions",
+    "gzip_bytes",
     "linear_buckets", "load_jsonl", "load_manifest", "loads_jsonl",
     "metric_from_dict", "metrics_from_trace", "rank_anomalies",
-    "registry_from_trace", "render_anomaly_reports", "render_span_tree",
+    "registry_from_trace", "render_anomaly_reports",
+    "render_attributions", "render_span_tree",
     "replay", "replay_anomaly", "run_bench",
     "run_scenario", "save_manifest", "session_report_html",
-    "spans_from_trace", "stock_checkers", "sweep_report_html",
-    "to_chrome_trace", "triage_report_html", "triage_table",
-    "write_report",
+    "spans_from_trace", "stock_checkers", "summarize_attributions",
+    "sweep_report_html",
+    "to_chrome_trace", "transfer_chunk_map", "triage_report_html",
+    "triage_table", "write_report",
 ]

@@ -150,6 +150,11 @@ class CheckReport:
     def count(self, severity: str) -> int:
         return sum(1 for v in self.violations if v.severity == severity)
 
+    def errors(self) -> List[Violation]:
+        """The ERROR-severity violations, in stream order — the subset
+        the attribution engine explains."""
+        return [v for v in self.violations if v.severity == ERROR]
+
     def by_severity(self) -> Dict[str, int]:
         return {severity: self.count(severity) for severity in SEVERITIES}
 

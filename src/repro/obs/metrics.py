@@ -48,6 +48,14 @@ def _labels(labels: Optional[Mapping[str, str]]) -> Labels:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text exposition format:
+    backslash, double quote, and line feed (in that order, so an escape
+    is never re-escaped)."""
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
 def _render_labels(labels: Labels, extra: Optional[Tuple[str, str]] = None
                    ) -> str:
     pairs = list(labels)
@@ -55,7 +63,8 @@ def _render_labels(labels: Labels, extra: Optional[Tuple[str, str]] = None
         pairs.append(extra)
     if not pairs:
         return ""
-    body = ",".join(f'{key}="{value}"' for key, value in pairs)
+    body = ",".join(f'{key}="{_escape_label_value(value)}"'
+                    for key, value in pairs)
     return "{" + body + "}"
 
 

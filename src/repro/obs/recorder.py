@@ -41,6 +41,7 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .check import ERROR, check_trace
 from .trace_export import Trace, dumps_jsonl, gzip_bytes, load_jsonl
+from .why import attributions_from_trace, summarize_attributions
 
 #: Capture reasons, most severe first — the primary triage ranking key.
 REASON_VIOLATION = "violation"
@@ -163,7 +164,7 @@ class ShardRecorder:
         self._reservoir: List[Tuple[float, int, str]] = []
 
     # ------------------------------------------------------------------
-    def observe(self, index: int, result: Any) -> None:
+    def observe(self, index: int, result: Any) -> List[Any]:
         """Judge one finished session and capture its trace if triggered.
 
         ``result`` is duck-typed on the :class:`SessionResult` surface:
@@ -171,25 +172,34 @@ class ShardRecorder:
         ``record_trace`` — such sessions are counted ``untraced``),
         ``metrics``, ``scheduler_stats``, ``finished``,
         ``session_duration``.
+
+        Returns the session's :class:`~repro.obs.why.Attribution` list
+        (empty for untraced, unchecked, or anomaly-free sessions) so the
+        caller can fold root causes into its shard registry.
         """
         self.stats["sessions"] += 1
         events = getattr(result, "events", None)
         if events is None:
             self.stats["untraced"] += 1
-            return
+            return []
         metrics = result.metrics
         misses = int(dict(result.scheduler_stats).get(
             "deadline_misses", 0))
         stalls = int(metrics.stall_count)
         qoe = _qoe_proxy(metrics, result.session_duration)
         violations: Optional[Dict[str, int]] = None
+        attributions: List[Any] = []
         reasons: List[str] = []
         if self.config.check:
-            report = check_trace(Trace(meta=result.trace_meta,
-                                       events=list(events)))
+            trace = Trace(meta=result.trace_meta, events=list(events))
+            report = check_trace(trace)
             violations = report.by_severity()
             if violations.get(ERROR):
                 reasons.append(REASON_VIOLATION)
+            # Same cost discipline as capture itself: the attribution
+            # walker's cheap probe returns [] for anomaly-free sessions,
+            # so only sessions with something to explain pay the walk.
+            attributions = attributions_from_trace(trace, report=report)
         if misses >= self.config.miss_threshold > 0:
             reasons.append(REASON_MISS)
         if stalls >= self.config.stall_threshold > 0:
@@ -200,7 +210,10 @@ class ShardRecorder:
                   "bitrate_mbps": metrics.mean_bitrate_mbps,
                   "stall_seconds": metrics.total_stall_time,
                   "finished": bool(result.finished),
-                  "violations": violations, "error": None}
+                  "violations": violations,
+                  "attribution": (summarize_attributions(attributions)
+                                  if attributions else None),
+                  "error": None}
         if reasons:
             text = dumps_jsonl(events, result.trace_meta)
             self._keep(index, reasons, len(events), text, detail)
@@ -210,6 +223,7 @@ class ShardRecorder:
             # it), which is what keeps the anomaly-free overhead small.
             self._offer_reservoir(
                 qoe, index, dumps_jsonl(events, result.trace_meta))
+        return attributions
 
     def record_failure(self, index: int, error: str) -> None:
         """A session raised: keep a trace-less anomaly record."""
@@ -225,7 +239,8 @@ class ShardRecorder:
             "score": 1.0, "artifact": None, "events": 0,
             "qoe": None, "misses": None, "stalls": None,
             "bitrate_mbps": None, "stall_seconds": None,
-            "finished": False, "violations": None, "error": error})
+            "finished": False, "violations": None,
+            "attribution": None, "error": error})
 
     def flush(self) -> None:
         """Settle the reservoir: the surviving k worst become records."""
@@ -238,7 +253,7 @@ class ShardRecorder:
                        {"qoe": qoe, "misses": None, "stalls": None,
                         "bitrate_mbps": None, "stall_seconds": None,
                         "finished": True, "violations": None,
-                        "error": None})
+                        "attribution": None, "error": None})
         self._reservoir = []
         self.records.sort(key=lambda record: record["index"])
 
@@ -449,6 +464,7 @@ def triage_table(records: Sequence[Mapping[str, Any]]) -> str:
 
     rows = []
     for record in records:
+        attribution = record.get("attribution") or {}
         rows.append([
             record.get("index", "-"), record.get("shard", "-"),
             str(record.get("reason", "-")),
@@ -456,9 +472,10 @@ def triage_table(records: Sequence[Mapping[str, Any]]) -> str:
             num(record.get("qoe")),
             num(record.get("misses"), "{:.0f}"),
             num(record.get("stalls"), "{:.0f}"),
+            attribution.get("top_cause") or "-",
             record.get("artifact") or "-"])
     return format_table(
         ["session", "shard", "reason", "score", "qoe", "misses",
-         "stalls", "artifact"],
+         "stalls", "top cause", "artifact"],
         rows, title=f"triage: {len(records)} anomaly record(s), "
                     f"worst first")

@@ -213,6 +213,12 @@ def _severity_badge(severity: str) -> str:
     return f'<span class="badge {css}">{escape(severity)}</span>'
 
 
+def _confidence_badge(confidence: str) -> str:
+    css = {"high": "good", "medium": "warning", "low": "info"}.get(
+        confidence, "info")
+    return f'<span class="badge {css}">{escape(confidence)}</span>'
+
+
 # ----------------------------------------------------------------------
 # Session report panels
 # ----------------------------------------------------------------------
@@ -428,6 +434,40 @@ def _violations_panel(report: CheckReport) -> str:
     return _panel("Invariant verdicts", summary, table)
 
 
+def _attribution_panel(trace: Trace, report: CheckReport) -> str:
+    """Root-cause verdicts for the session's anomalies (repro why)."""
+    from .why import attributions_from_trace, summarize_attributions
+
+    attributions = attributions_from_trace(trace, report=report)
+    if not attributions:
+        return _panel(
+            "Root-cause attribution",
+            _note("no anomalies to attribute: no deadline misses, "
+                  "stalls, or ERROR violations in this session"))
+    summary = summarize_attributions(attributions)
+    rows = []
+    for attribution in attributions:
+        where = ("-" if attribution.chunk is None
+                 else f"chunk {attribution.chunk}")
+        slack = ("-" if attribution.slack is None
+                 else f"{attribution.slack:.2f}")
+        rows.append([
+            escape(attribution.kind), escape(where),
+            f"{attribution.time:.2f}", escape(attribution.layer),
+            f'<span class="mono">{escape(attribution.cause)}</span>',
+            _confidence_badge(attribution.confidence), slack,
+            escape(attribution.counterfactual or attribution.message)])
+    table = _table([("kind", False), ("where", False), ("t (s)", True),
+                    ("layer", False), ("cause", False),
+                    ("confidence", False), ("slack (s)", True),
+                    ("counterfactual", False)], rows)
+    note = _note(
+        f"{summary['total']} anomaly verdict(s); dominant cause "
+        f"{summary['top_cause']} (layer {summary['top_layer']}); "
+        f"slack = the counterfactual seconds the blamed decision cost")
+    return _panel("Root-cause attribution", note, table)
+
+
 #: Span kinds worth a lane, in causal order (the session root span is
 #: omitted — it would be one full-width bar).
 _SPAN_LANES = ("chunk", "request", "transfer", "deadline", "stall")
@@ -493,6 +533,7 @@ def session_report_html(trace: Trace) -> str:
         _slack_panel(registry),
         _radio_panel(analyzer, metrics, duration),
         _violations_panel(verdicts),
+        _attribution_panel(trace, verdicts),
         _spans_panel(spans, duration),
     ])
 
@@ -902,6 +943,50 @@ def _fleet_mix_panel(registry: MetricsRegistry) -> str:
     return _panel("Workload mix", *parts)
 
 
+def _fleet_attribution_panel(registry: MetricsRegistry) -> str:
+    """Root-cause breakdown folded from every shard's attribution walks.
+
+    Always rendered: a zero-anomaly fleet states so explicitly instead
+    of omitting the section, so two campaign reports always diff
+    section-for-section.
+    """
+    pairs: List[Tuple[str, str, float]] = []
+    for metric in registry:
+        if metric.name == "repro_fleet_attribution_total":
+            labels = dict(metric.labels)
+            if labels.get("cause"):
+                pairs.append((labels["cause"],
+                              labels.get("layer", "unknown"),
+                              metric.value))
+    if not pairs:
+        return _panel(
+            "Root-cause attribution",
+            _note("no anomalies captured: every judged session was "
+                  "free of deadline misses, stalls, and ERROR "
+                  "violations"))
+    pairs.sort(key=lambda entry: (-entry[2], entry[0]))
+    total = sum(count for _, _, count in pairs)
+    shares = ", ".join(
+        f"{count / total:.0%} {cause} ({layer})"
+        for cause, layer, count in pairs)
+    parts = [_note(f"{total:.0f} anomaly verdict(s) across the fleet: "
+                   f"{shares}"),
+             bar_chart([cause for cause, _, _ in pairs],
+                       [count for _, _, count in pairs],
+                       width=720, height=200, y_label="anomalies",
+                       value_format="{:.0f}",
+                       title="anomalies by attributed root cause")]
+    confidences = _labeled_counts(
+        registry, "repro_fleet_attribution_confidence_total",
+        "confidence")
+    if confidences:
+        order = {"high": 0, "medium": 1, "low": 2}
+        confidences.sort(key=lambda pair: order.get(pair[0], 9))
+        parts.append(_note("verdict confidence: " + ", ".join(
+            f"{name} {count:.0f}" for name, count in confidences)))
+    return _panel("Root-cause attribution", *parts)
+
+
 def _fleet_failures_panel(result: Any) -> Optional[str]:
     errors = list(getattr(result, "errors", ()))
     if not result.failures and not errors:
@@ -929,11 +1014,15 @@ def _anomaly_row(record: Mapping[str, Any],
     session = (f'<a href="{escape(link)}">#{index}</a>'
                if link else f"#{index}")
     artifact = record.get("artifact")
+    attribution = record.get("attribution") or {}
+    cause = attribution.get("top_cause")
     return [session, f"{record.get('shard', '-')}",
             escape(str(record.get("reason", "-"))),
             num(record.get("score")), num(record.get("qoe")),
             num(record.get("misses"), "{:.0f}"),
             num(record.get("stalls"), "{:.0f}"),
+            (f'<span class="mono">{escape(str(cause))}</span>'
+             if cause else "-"),
             (f'<span class="mono">{escape(str(artifact))}</span>'
              if artifact else "-")]
 
@@ -941,7 +1030,7 @@ def _anomaly_row(record: Mapping[str, Any],
 _ANOMALY_HEADERS = [("session", False), ("shard", True),
                     ("reason", False), ("score", True), ("qoe", True),
                     ("misses", True), ("stalls", True),
-                    ("artifact", False)]
+                    ("top cause", False), ("artifact", False)]
 
 
 def _fleet_anomalies_panel(result: Any,
@@ -1013,6 +1102,7 @@ def fleet_report_html(result: Any,
         _fleet_qoe_panel(registry),
         _fleet_cellular_panel(registry),
         _fleet_deadline_panel(registry),
+        _fleet_attribution_panel(registry),
         _fleet_mix_panel(registry),
     ]
     anomalies = _fleet_anomalies_panel(result, anomaly_links)

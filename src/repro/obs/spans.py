@@ -262,6 +262,28 @@ def spans_to_dicts(spans: List[Span]) -> List[Dict[str, Any]]:
     return [span.to_dict() for span in spans]
 
 
+def transfer_chunk_map(spans: List[Span]) -> Dict[int, int]:
+    """Map each transfer id to the chunk index it served.
+
+    Walks every transfer span's parent chain up to its chunk span —
+    the join the attribution engine needs to say "transfer 17 *is*
+    chunk 4".  Orphaned transfers (parented to the session root because
+    their request span never existed) are simply absent from the map,
+    which is what lets callers degrade instead of mis-join.
+    """
+    by_id = {span.span_id: span for span in spans}
+    mapping: Dict[int, int] = {}
+    for span in spans:
+        if span.kind != "transfer" or "transfer" not in span.attrs:
+            continue
+        parent = by_id.get(span.parent)
+        while parent is not None and parent.kind != "chunk":
+            parent = by_id.get(parent.parent)
+        if parent is not None and "index" in parent.attrs:
+            mapping[span.attrs["transfer"]] = parent.attrs["index"]
+    return mapping
+
+
 def to_chrome_trace(spans: List[Span], pid: int = 1) -> List[Dict[str, Any]]:
     """Render spans as Chrome trace-event complete events.
 

@@ -676,3 +676,132 @@ class TestFleetRecorderCli:
                                  "--record-bottom-k", "-1"]) == 2
         assert main(self.ARGS + ["--fault-session", "-5"]) == 2
         capsys.readouterr()
+
+
+class TestWhyCli:
+    """repro why: attribution over live runs, exports, and campaigns."""
+
+    def fault_trace(self, tmp_path, name="faulty.jsonl"):
+        """Export a trace with the seeded scheduler fault."""
+        from repro.core.scheduler import DeadlineAwareScheduler
+
+        orig = DeadlineAwareScheduler.on_transfer_start
+
+        def faulty(scheduler, now, transfer, conn):
+            orig(scheduler, now, transfer, conn)
+            if scheduler.active:
+                for path in conn.path_names():
+                    conn.request_path_state(path, False)
+
+        path = str(tmp_path / name)
+        DeadlineAwareScheduler.on_transfer_start = faulty
+        try:
+            assert main(["trace"] + SESSION_ARGS + ["--out", path]) == 0
+        finally:
+            DeadlineAwareScheduler.on_transfer_start = orig
+        return path
+
+    def test_live_session_attributes_to_stderr(self, capsys):
+        assert main(["why"] + SESSION_ARGS) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""  # human table rides stderr
+        assert ("no anomalies to attribute" in captured.err
+                or "anomalies attributed" in captured.err)
+
+    def test_load_faulty_trace_blames_scheduler(self, tmp_path, capsys):
+        path = self.fault_trace(tmp_path)
+        capsys.readouterr()
+        assert main(["why", "--load", path, "--json"]) == 0
+        captured = capsys.readouterr()
+        assert f"attributing {path} offline" in captured.err
+        payload = json.loads(captured.out)
+        assert payload["summary"]["top_layer"] == "scheduler"
+        assert payload["summary"]["top_cause"] == \
+            "path-control-violation"
+        assert payload["attributions"]
+
+    def test_offline_equals_live_verdicts(self, tmp_path, capsys):
+        assert main(["why"] + SESSION_ARGS + ["--json"]) == 0
+        live = json.loads(capsys.readouterr().out)
+        path = str(tmp_path / "run.jsonl")
+        assert main(["trace"] + SESSION_ARGS + ["--out", path]) == 0
+        capsys.readouterr()
+        assert main(["why", "--load", path, "--json"]) == 0
+        offline = json.loads(capsys.readouterr().out)
+        # The sampler rides along live but never perturbs the session,
+        # so verdicts agree; the live trace just has more evidence.
+        assert offline["summary"]["total"] == live["summary"]["total"]
+
+    def test_diff_two_arms(self, tmp_path, capsys):
+        base = str(tmp_path / "vanilla.jsonl")
+        faulty = self.fault_trace(tmp_path)
+        assert main(["trace"] + SESSION_ARGS + ["--out", base]) == 0
+        capsys.readouterr()
+        assert main(["why", "--diff", faulty, base, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["aligned_chunks"] > 0
+        top = payload["cause_deltas"][0]
+        # The injected scheduler fault is the top mover, A-heavy.
+        assert top["cause"] == "path-control-violation"
+        assert top["delta"] > 0
+        assert main(["why", "--diff", faulty, base]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "diffing" in captured.err
+        assert "path-control-violation" in captured.err
+
+    def test_diff_load_error_exits_2(self, tmp_path, capsys):
+        missing = str(tmp_path / "nope.jsonl")
+        assert main(["why", "--diff", missing, missing]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_load_error_exits_2(self, tmp_path, capsys):
+        assert main(["why", "--load",
+                     str(tmp_path / "nope.jsonl")]) == 2
+        assert "cannot load" in capsys.readouterr().err
+
+    def test_record_dir_attributes_campaign(self, tmp_path, capsys):
+        records = str(tmp_path / "records")
+        assert main(["fleet", "--sessions", "6", "--shard-size", "3",
+                     "--duration", "8", "--seed", "3", "--record-dir",
+                     records, "--fault-session", "2", "--json"]) == 0
+        capsys.readouterr()
+        assert main(["why", "--record-dir", records, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["fleet_key"]
+        fault = next(r for r in payload["records"] if r["index"] == 2)
+        assert fault["why"]["attributed"] is True
+        assert fault["why"]["summary"]["top_layer"] == "scheduler"
+        # Human mode summarizes per record on stderr.
+        assert main(["why", "--record-dir", records]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "session 2 [violation]" in captured.err
+        assert "top cause" in captured.err
+
+    def test_record_dir_without_manifest_exits_2(self, tmp_path, capsys):
+        assert main(["why", "--record-dir",
+                     str(tmp_path / "empty")]) == 2
+        assert "no anomaly manifest" in capsys.readouterr().err
+
+
+class TestTopValidation:
+    """--top must be a positive integer on every CLI that ranks."""
+
+    @pytest.mark.parametrize("value", ["0", "-3", "nope"])
+    def test_triage_rejects_non_positive_top(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["triage", "--record-dir", "x", "--top", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "argument --top" in err
+        assert "positive integer" in err or "not an integer" in err
+
+    @pytest.mark.parametrize("value", ["0", "-1", "2.5"])
+    def test_why_rejects_non_positive_top(self, value, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["why", "--top", value])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "argument --top" in err
+        assert "positive integer" in err or "not an integer" in err

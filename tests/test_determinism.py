@@ -343,3 +343,125 @@ class TestObservabilityOverhead:
         assert min(ratios) <= 1.0, \
             f"instrumented fast kernel slower than bare tick: best " \
             f"ratio {min(ratios):.3f} (all: {[f'{r:.3f}' for r in ratios]})"
+
+
+class TestAttributionDeterminism:
+    """Attribution verdicts are a pure function of the trace: the live
+    event stream, a ``--load`` round-trip of the export, and the flight
+    recorder's captured artifact must yield byte-identical verdicts —
+    the property that lets a root cause debugged offline be trusted as
+    the root cause of the production run."""
+
+    @staticmethod
+    def _verdict_bytes(attributions):
+        import json
+
+        return json.dumps([a.to_dict() for a in attributions],
+                          sort_keys=True).encode()
+
+    @staticmethod
+    def _faulty_result(**kwargs):
+        """One session under the seeded scheduler fault (Algorithm 1
+        broken: every path disabled once armed)."""
+        from repro.core.scheduler import DeadlineAwareScheduler
+
+        orig = DeadlineAwareScheduler.on_transfer_start
+
+        def faulty(scheduler, now, transfer, conn):
+            orig(scheduler, now, transfer, conn)
+            if scheduler.active:
+                for name in conn.path_names():
+                    conn.request_path_state(name, False)
+
+        DeadlineAwareScheduler.on_transfer_start = faulty
+        try:
+            return run_session(short_config(record_trace=True, **kwargs))
+        finally:
+            DeadlineAwareScheduler.on_transfer_start = orig
+
+    def test_clean_run_attributes_nothing_everywhere(self):
+        from repro.obs import (Trace, attributions_from_trace,
+                               dumps_jsonl, loads_jsonl)
+
+        result = run_session(short_config(record_trace=True))
+        live = Trace(meta=result.trace_meta, events=list(result.events))
+        loaded = loads_jsonl(dumps_jsonl(result.events,
+                                         result.trace_meta))
+        assert attributions_from_trace(live) == []
+        assert attributions_from_trace(loaded) == []
+
+    def test_seeded_fault_live_offline_and_recorded_agree(self, tmp_path):
+        import os
+
+        from repro.obs import (RecorderConfig, ShardRecorder, Trace,
+                               attributions_from_trace, dumps_jsonl,
+                               load_jsonl, loads_jsonl,
+                               summarize_attributions)
+
+        result = self._faulty_result()
+        live_trace = Trace(meta=result.trace_meta,
+                           events=list(result.events))
+        live = attributions_from_trace(live_trace)
+        assert live, "the seeded fault must produce anomalies"
+        summary = summarize_attributions(live)
+        assert summary["top_layer"] == "scheduler"
+        assert summary["top_cause"] == "path-control-violation"
+
+        # --load path: export and re-parse.
+        offline = attributions_from_trace(
+            loads_jsonl(dumps_jsonl(result.events, result.trace_meta)))
+
+        # Recorder path: observe captures the artifact and returns the
+        # same verdicts it folded into the shard's registry.
+        recorder = ShardRecorder(
+            RecorderConfig(artifact_dir=str(tmp_path / "records")),
+            "deadbeefcafe", 0)
+        observed = recorder.observe(123, result)
+        recorder.flush()
+        (record,) = recorder.records
+        recorded = attributions_from_trace(load_jsonl(
+            os.path.join(str(tmp_path / "records"),
+                         record["artifact"])))
+
+        live_bytes = self._verdict_bytes(live)
+        assert self._verdict_bytes(offline) == live_bytes
+        assert self._verdict_bytes(observed) == live_bytes
+        assert self._verdict_bytes(recorded) == live_bytes
+        assert record["attribution"] == summary
+
+    def test_attribution_within_ten_percent_of_offline_check(self):
+        """Acceptance: on the anomaly-free offline check path, adding
+        attribution costs <= 10% (the cheap probe short-circuits the
+        walk).  Best-of-pairs, same discipline as the collector bound."""
+        import gc
+        from time import perf_counter
+
+        from repro.obs import (attributions_from_trace, check_trace,
+                               dumps_jsonl, loads_jsonl)
+
+        TestObservabilityOverhead._skip_under_tracer()
+        result = run_session(short_config(record_trace=True))
+        trace = loads_jsonl(dumps_jsonl(result.events,
+                                        result.trace_meta))
+        assert attributions_from_trace(trace) == []  # warm + sanity
+
+        def timed(with_attribution):
+            gc.collect()
+            gc.disable()
+            try:
+                started = perf_counter()
+                report = check_trace(trace)
+                if with_attribution:
+                    attributions_from_trace(trace, report)
+                return perf_counter() - started
+            finally:
+                gc.enable()
+
+        ratios = []
+        for _ in range(10):
+            bare = timed(False)
+            instrumented = timed(True)
+            ratios.append(instrumented / bare)
+        assert min(ratios) <= 1.10, \
+            f"attribution overhead too high: best pair ratio " \
+            f"{min(ratios):.3f} (all: {[f'{r:.3f}' for r in ratios]})"

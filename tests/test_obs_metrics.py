@@ -210,6 +210,30 @@ class TestMetricsRegistry:
         assert 'repro_tput 42' in text
         assert text.endswith("\n")
 
+    def test_prometheus_label_values_escaped(self):
+        registry = MetricsRegistry()
+        raw = 'dip "mid\\day"\nrun'
+        registry.counter("repro_runs_total", {"note": raw}).inc()
+        text = registry.render_prometheus()
+        line = next(l for l in text.splitlines()
+                    if l.startswith("repro_runs_total{"))
+        # Exposition format: backslash, quote, and newline are escaped,
+        # so the sample stays a single parseable line.
+        assert line == \
+            'repro_runs_total{note="dip \\"mid\\\\day\\"\\nrun"} 1'
+        # Round-trip: a standard left-to-right unescape restores raw.
+        value = line.split('note="', 1)[1].rsplit('"}', 1)[0]
+        unescaped, i = [], 0
+        while i < len(value):
+            if value[i] == "\\" and i + 1 < len(value):
+                unescaped.append(
+                    {"n": "\n", '"': '"', "\\": "\\"}[value[i + 1]])
+                i += 2
+            else:
+                unescaped.append(value[i])
+                i += 1
+        assert "".join(unescaped) == raw
+
     def test_json_dump_is_ordered(self):
         registry = MetricsRegistry()
         registry.counter("b").inc()

@@ -224,3 +224,80 @@ class TestLiveSession:
                                           record_trace=True))
         trace = loads_jsonl(dumps_jsonl(result.events, result.trace_meta))
         assert spans_from_trace(trace) == result.spans
+
+
+class TestMalformedChains:
+    """spans_from_trace and transfer_chunk_map on broken causal chains.
+
+    These are the degraded streams the attribution walker must survive:
+    orphaned transfers, chunks that never downloaded, truncated traces.
+    """
+
+    def build(self, publish):
+        bus = EventBus()
+        builder = SpanBuilder(bus)
+        publish(bus)
+        return builder.spans
+
+    def test_transfer_chunk_map_joins_full_chains(self):
+        spans = self.build(lambda bus: (
+            chunk_chain(bus, index=0, url="/chunk0", transfer=1,
+                        request=1),
+            chunk_chain(bus, index=4, url="/chunk4", transfer=9,
+                        request=2, start=10.0),
+            bus.publish(SessionClosed(20.0))))
+        from repro.obs.spans import transfer_chunk_map
+
+        assert transfer_chunk_map(spans) == {1: 0, 9: 4}
+
+    def test_orphan_transfer_parents_to_root_and_stays_unmapped(self):
+        def publish(bus):
+            bus.publish(TransferStarted(1.0, 7, "/stray", 1e6))
+            bus.publish(TransferCompleted(2.0, 7, "/stray", 1e6, 1.0))
+            bus.publish(SessionClosed(3.0))
+
+        spans = self.build(publish)
+        from repro.obs.spans import transfer_chunk_map
+
+        transfer = next(s for s in spans if s.kind == "transfer")
+        assert transfer.parent == spans[0].span_id  # session root
+        assert transfer.status == STATUS_OK
+        assert transfer_chunk_map(spans) == {}
+
+    def test_chunk_without_download_keeps_open_status(self):
+        def publish(bus):
+            bus.publish(ChunkRequested(0.0, 0, 1, 5.0))
+            bus.publish(HttpRequestSent(0.0, "/chunk0", 1))
+            bus.publish(TransferStarted(0.01, 1, "/chunk0", 1e6))
+            bus.publish(SessionClosed(5.0))
+
+        spans = self.build(publish)
+        from repro.obs.spans import transfer_chunk_map
+
+        chunk = next(s for s in spans if s.kind == "chunk")
+        assert chunk.status == STATUS_OPEN
+        # The join still resolves: the transfer did belong to chunk 0.
+        assert transfer_chunk_map(spans) == {1: 0}
+
+    def test_truncated_trace_leaves_spans_open_without_raising(self):
+        def publish(bus):
+            chunk_chain(bus, miss=True)
+            bus.publish(ChunkRequested(6.0, 1, 1, 3.0))
+            # No SessionClosed: stream cut mid-session.
+
+        spans = self.build(publish)
+        open_chunks = [s for s in spans
+                       if s.kind == "chunk" and s.status == STATUS_OPEN]
+        assert len(open_chunks) == 1
+        missed = next(s for s in spans if s.kind == "deadline")
+        assert missed.status == STATUS_MISSED
+
+    def test_miss_for_unknown_transfer_is_ignored(self):
+        def publish(bus):
+            chunk_chain(bus)
+            bus.publish(DeadlineMissed(4.0, 999))
+            bus.publish(SessionClosed(10.0))
+
+        spans = self.build(publish)
+        deadline = next(s for s in spans if s.kind == "deadline")
+        assert deadline.status == STATUS_OK
