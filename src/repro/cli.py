@@ -25,6 +25,9 @@ equivalent entry point, plus runners for the common experiments::
     python -m repro why --load run.jsonl
     python -m repro why --diff baseline.jsonl mpdash.jsonl
     python -m repro why --record-dir .fleet-records --top 5 --json
+    python -m repro fleet --sessions 240 --ledger runs.jsonl
+    python -m repro history trend --ledger runs.jsonl --html history.html
+    python -m repro history --gate --ledger runs.jsonl
     python -m repro locations
     python -m repro videos
 
@@ -56,14 +59,17 @@ from .obs import (BenchReport, EventBus, FleetCheckpointSaved,
                   FleetShardCompleted, RecorderConfig, SweepDashboard,
                   SweepRunFailed, SweepRunFinished, Trace,
                   attribute_anomaly, attributions_from_trace,
-                  bench_report_html, check_trace, compare_reports,
-                  diff_traces, dump_chrome_trace, dump_jsonl, load_jsonl,
+                  bench_report_html, check_trace, compare_meta,
+                  compare_reports, detect_drift, diff_traces,
+                  drift_table, dump_chrome_trace, dump_jsonl, gate_ok,
+                  history_report_html, load_jsonl,
                   metrics_from_trace, registry_from_trace,
                   render_attributions, render_span_tree, run_bench,
                   session_report_html,
                   spans_from_trace, stock_checkers,
-                  summarize_attributions, triage_report_html,
-                  write_report)
+                  summarize_attributions, trend_document,
+                  triage_report_html, write_report)
+from .obs.ledger import RunLedger
 from .obs.spans import spans_to_dicts
 from .workloads import (ARRIVAL_MODELS, VIDEO_LADDERS,
                         field_study_locations, video_names)
@@ -96,6 +102,9 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--visualize", action="store_true",
                         help="print the Figure-8 chunk strip and "
                              "throughput patterns")
+    stream.add_argument("--ledger", metavar="FILE", default=None,
+                        help="append the session's headline record to "
+                             "this run-ledger JSONL file")
 
     compare = commands.add_parser(
         "compare", help="baseline vs MP-DASH (duration & rate deadlines)")
@@ -153,6 +162,9 @@ def build_parser() -> argparse.ArgumentParser:
                        default=None,
                        help="baseline BENCH_*.json the report compares "
                             "the latest --bench report against")
+    sweep.add_argument("--ledger", metavar="FILE", default=None,
+                       help="append the sweep's headline record to this "
+                            "run-ledger JSONL file")
 
     download = commands.add_parser(
         "download", help="one deadline-bounded file download")
@@ -267,6 +279,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="also render the report (and the --compare "
                             "verdict, when given) as a self-contained "
                             "HTML page")
+    bench.add_argument("--ledger", metavar="FILE", default=None,
+                       help="append the measured report to this "
+                            "run-ledger JSONL file (ignored with --load)")
 
     report = commands.add_parser(
         "report", help="self-contained HTML session report (live run or "
@@ -357,6 +372,9 @@ def build_parser() -> argparse.ArgumentParser:
     fleet.add_argument("--triage-top", type=int, default=0, metavar="K",
                        help="with --report: render mini session reports "
                             "for the K worst captured anomalies")
+    fleet.add_argument("--ledger", metavar="FILE", default=None,
+                       help="append the campaign's headline record to "
+                            "this run-ledger JSONL file")
 
     triage = commands.add_parser(
         "triage", help="rank and replay flight-recorder captures from "
@@ -401,6 +419,41 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default 10)")
     why.add_argument("--json", action="store_true",
                      help="machine-readable verdicts on stdout")
+
+    history = commands.add_parser(
+        "history", help="longitudinal trends and drift gating over a "
+                        "run-ledger JSONL file")
+    history.add_argument("action", nargs="?", default="list",
+                         choices=("list", "show", "trend", "diff",
+                                  "gate"),
+                         help="list entries, show/diff entries by id "
+                              "prefix, render trends, or gate on drift "
+                              "(default: list)")
+    history.add_argument("ids", nargs="*", metavar="ENTRY",
+                         help="entry-id prefix(es): one for show, two "
+                              "for diff")
+    history.add_argument("--ledger", required=True, metavar="FILE",
+                         help="the run-ledger JSONL file to read")
+    history.add_argument("--gate", action="store_true", dest="gate_flag",
+                         help="shorthand for the gate action (exit 1 on "
+                              "ERROR-severity drift)")
+    history.add_argument("--kind", default=None,
+                         choices=("session", "sweep", "fleet", "bench"),
+                         help="restrict to entries of this kind")
+    history.add_argument("--last", type=_positive_int, default=None,
+                         metavar="N",
+                         help="restrict to the last N (matching) "
+                              "entries")
+    history.add_argument("--json", action="store_true",
+                         help="machine-readable document on stdout")
+    history.add_argument("--html", metavar="FILE", default=None,
+                         help="with trend: write the longitudinal HTML "
+                              "report to FILE")
+    history.add_argument("--bench", action="append", default=[],
+                         metavar="BENCH.json",
+                         help="with trend --html: BENCH_*.json "
+                              "report(s) for the trajectory panel; "
+                              "repeatable, in order")
 
     commands.add_parser("locations",
                         help="list the 33-location field-study catalog")
@@ -462,7 +515,7 @@ def cmd_stream(args: argparse.Namespace) -> int:
         wifi_mbps=args.wifi, lte_mbps=args.lte,
         wifi_rtt_ms=args.wifi_rtt, lte_rtt_ms=args.lte_rtt,
         video_duration=args.duration, kernel=args.kernel)
-    result = run_session(config)
+    result = run_session(config, ledger=args.ledger)
     metrics = result.metrics
     # Human-oriented tables go to stderr (the stats/spans/profile
     # convention): stdout stays machine-parseable for every command.
@@ -600,7 +653,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             f"FAILED ({e.kind}, {e.attempts} attempt(s)): {e.error}",
             file=sys.stderr))
     result = run_sweep(configs, jobs=args.jobs, cache_dir=args.cache_dir,
-                       timeout=args.timeout, retries=args.retries, bus=bus)
+                       timeout=args.timeout, retries=args.retries, bus=bus,
+                       ledger=args.ledger)
     if args.json:
         print(json.dumps(_sweep_report(result), sort_keys=True))
     else:
@@ -860,7 +914,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
         try:
             report = run_bench(
                 scenarios=scenarios, repeats=args.repeat, label=args.label,
-                progress=lambda message: print(message, file=sys.stderr))
+                progress=lambda message: print(message, file=sys.stderr),
+                ledger=args.ledger)
         except ValueError as exc:
             print(f"repro bench: {exc}", file=sys.stderr)
             return 2
@@ -889,6 +944,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"bench HTML report written to {args.html}",
               file=sys.stderr)
     if baseline is not None:
+        # Environment mismatches never gate, but they change what a
+        # gating verdict means — surface them before the comparison.
+        for mismatch in compare_meta(report, baseline):
+            print(f"repro bench: warning: {mismatch.render()}",
+                  file=sys.stderr)
         regressions = compare_reports(report, baseline,
                                       threshold=args.threshold)
         if regressions:
@@ -980,7 +1040,7 @@ def cmd_fleet(args: argparse.Namespace) -> int:
             config, jobs=args.jobs, checkpoint_dir=args.checkpoint_dir,
             checkpoint_every=args.checkpoint_every, resume=args.resume,
             stop_after=args.stop_after, retries=args.retries, bus=bus,
-            recorder=recorder)
+            recorder=recorder, ledger=args.ledger)
     except ValueError as exc:
         print(f"repro fleet: {exc}", file=sys.stderr)
         return 2
@@ -995,6 +1055,159 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     if args.report is not None:
         result.export_report(args.report, triage_top=args.triage_top)
         print(f"fleet report written to {args.report}", file=sys.stderr)
+    return 0
+
+
+def _find_ledger_entry(entries, prefix: str):
+    """The unique entry whose id starts with ``prefix`` (or None after
+    printing the error; callers exit 2)."""
+    matches = [e for e in entries if e.entry_id.startswith(prefix)]
+    if not matches:
+        print(f"repro history: no entry matching {prefix!r}",
+              file=sys.stderr)
+        return None
+    if len(matches) > 1:
+        ids = ", ".join(e.entry_id[:12] for e in matches[:5])
+        print(f"repro history: {prefix!r} is ambiguous ({ids}...)",
+              file=sys.stderr)
+        return None
+    return matches[0]
+
+
+def cmd_history(args: argparse.Namespace) -> int:
+    """Longitudinal views over a run ledger (see repro.obs.ledger).
+
+    Actions: ``list`` entries, ``show``/``diff`` entries by id prefix,
+    ``trend`` (machine-readable timeseries + EWMA tracks, or ``--html``
+    the longitudinal report), ``gate`` (run the drift sentinel; exit 1
+    on ERROR-severity drift).  Exit status: 0 clean, 1 gate failure,
+    2 bad arguments or an unreadable ledger.
+    """
+    action = "gate" if args.gate_flag else args.action
+    load = RunLedger(args.ledger).load()
+    for warning in load.warnings:
+        print(f"repro history: warning: {warning}", file=sys.stderr)
+    entries = list(load.entries)
+    if args.kind is not None:
+        entries = [e for e in entries if e.kind == args.kind]
+    if args.last is not None:
+        entries = entries[-args.last:]
+
+    if action == "list":
+        if args.json:
+            print(json.dumps([e.to_dict() for e in entries],
+                             sort_keys=True))
+        else:
+            rows = [[str(i), e.kind, e.entry_id[:12], e.key[:12],
+                     e.label or "-", str(len(e.metrics))]
+                    for i, e in enumerate(entries)]
+            print(format_table(
+                ["#", "kind", "entry", "key", "label", "metrics"], rows,
+                title=f"ledger {args.ledger} ({len(entries)} entries)"),
+                file=sys.stderr)
+        return 0
+
+    if action == "show":
+        if len(args.ids) != 1:
+            print("repro history: show takes exactly one entry-id "
+                  "prefix", file=sys.stderr)
+            return 2
+        entry = _find_ledger_entry(entries, args.ids[0])
+        if entry is None:
+            return 2
+        print(json.dumps(entry.to_dict(), sort_keys=True))
+        if not args.json:
+            rows = [[name, f"{value:.6g}"]
+                    for name, value in entry.metrics.items()]
+            print(format_table(["metric", "value"], rows,
+                               title=f"{entry.kind} {entry.entry_id[:12]}"),
+                  file=sys.stderr)
+        return 0
+
+    if action == "diff":
+        if len(args.ids) != 2:
+            print("repro history: diff takes exactly two entry-id "
+                  "prefixes", file=sys.stderr)
+            return 2
+        first = _find_ledger_entry(entries, args.ids[0])
+        second = _find_ledger_entry(entries, args.ids[1])
+        if first is None or second is None:
+            return 2
+        names = sorted(set(first.metrics) | set(second.metrics))
+        deltas = []
+        for name in names:
+            a = first.metrics.get(name)
+            b = second.metrics.get(name)
+            delta = (b - a) if a is not None and b is not None else None
+            relative = (delta / abs(a)
+                        if delta is not None and a not in (None, 0.0)
+                        else None)
+            deltas.append({"metric": name, "a": a, "b": b,
+                           "delta": delta, "relative": relative})
+        environment = {
+            key: [first.environment.get(key), second.environment.get(key)]
+            for key in sorted(set(first.environment)
+                              | set(second.environment))
+            if first.environment.get(key) != second.environment.get(key)}
+        document = {"a": first.to_dict(), "b": second.to_dict(),
+                    "metrics": deltas,
+                    "environment_changes": environment}
+        if args.json:
+            print(json.dumps(document, sort_keys=True))
+        else:
+            def show(value) -> str:
+                return "-" if value is None else f"{value:.6g}"
+
+            rows = [[d["metric"], show(d["a"]), show(d["b"]),
+                     show(d["delta"]),
+                     ("-" if d["relative"] is None
+                      else f"{d['relative']:+.1%}")] for d in deltas]
+            print(format_table(
+                ["metric", first.entry_id[:12], second.entry_id[:12],
+                 "delta", "rel"], rows,
+                title=f"{first.kind} diff"), file=sys.stderr)
+            for key, (mine, theirs) in environment.items():
+                print(f"environment: {key}: {mine} -> {theirs}",
+                      file=sys.stderr)
+        return 0
+
+    findings = detect_drift(entries)
+    if action == "trend":
+        document = trend_document(entries, findings)
+        if args.json:
+            print(json.dumps(document, sort_keys=True))
+        if args.html is not None:
+            bench_reports = []
+            for path in args.bench:
+                try:
+                    bench_reports.append(BenchReport.load(path))
+                except (OSError, ValueError, KeyError) as exc:
+                    print(f"repro history: cannot load bench report "
+                          f"{path}: {exc}", file=sys.stderr)
+                    return 2
+            write_report(args.html, history_report_html(
+                entries, findings=findings, bench_reports=bench_reports,
+                warnings=load.warnings))
+            print(f"history report written to {args.html}",
+                  file=sys.stderr)
+        if not args.json:
+            print(drift_table(findings), file=sys.stderr)
+        return 0
+
+    # action == "gate"
+    if args.json:
+        print(json.dumps(
+            {"entries": len(entries), "gate_ok": gate_ok(findings),
+             "findings": [f.to_dict() for f in findings]},
+            sort_keys=True))
+    else:
+        print(drift_table(findings), file=sys.stderr)
+    if not gate_ok(findings):
+        print(f"repro history: DRIFT GATE FAILED "
+              f"({sum(1 for f in findings if f.severity == 'error')} "
+              f"error-severity finding(s))", file=sys.stderr)
+        return 1
+    print("repro history: drift gate passed", file=sys.stderr)
     return 0
 
 
@@ -1199,6 +1412,7 @@ _COMMANDS = {
     "bench": cmd_bench,
     "report": cmd_report,
     "fleet": cmd_fleet,
+    "history": cmd_history,
     "triage": cmd_triage,
     "why": cmd_why,
     "locations": cmd_locations,

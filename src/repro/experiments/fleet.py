@@ -660,8 +660,8 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
               stop_after: Optional[int] = None, retries: int = 1,
               bus: Optional[EventBus] = None,
               runner: Optional[Callable[[SessionConfig], Any]] = None,
-              recorder: Optional[RecorderConfig] = None
-              ) -> FleetResult:
+              recorder: Optional[RecorderConfig] = None,
+              ledger: Optional[str] = None) -> FleetResult:
     """Run (or resume) one fleet campaign.
 
     ``jobs=1`` simulates shards in-process; ``jobs>1`` fans them out over
@@ -684,6 +684,10 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
     maintains the campaign's triage manifest.  Recording is purely
     observational — it never changes ``fleet_key`` or the population
     registry.
+
+    ``ledger`` appends the finished campaign's headline record
+    (population quantiles, miss totals, sim-per-wall, registry digest)
+    to the run ledger at that path (see :mod:`repro.obs.ledger`).
     """
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1: {jobs!r}")
@@ -812,7 +816,7 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
         save_manifest(recorder.artifact_dir, key, rec_stats, anomalies)
     wall = time.perf_counter() - start
     bus.publish(FleetCompleted(wall, sessions, failures, shards_done))
-    return FleetResult(
+    result = FleetResult(
         config=config, registry=registry, sessions=sessions,
         failures=failures, shards_done=shards_done, total_shards=total,
         jobs=jobs, wall_clock=wall, sim_seconds=sim_seconds,
@@ -821,3 +825,8 @@ def run_fleet(config: FleetConfig, jobs: int = 1,
         recorder=rec_stats, anomalies=anomalies,
         record_dir=(recorder.artifact_dir if recorder is not None
                     else None))
+    if ledger is not None:
+        from ..obs.ledger import RunLedger, fleet_entry
+
+        RunLedger(ledger).append(fleet_entry(result))
+    return result

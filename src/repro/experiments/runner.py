@@ -122,7 +122,8 @@ def _build_paths(config) -> list:
 def run_session(config: SessionConfig, profile: bool = False,
                 check: bool = False,
                 checkers: Optional[List[Checker]] = None,
-                report: Optional[str] = None) -> SessionResult:
+                report: Optional[str] = None,
+                ledger: Optional[str] = None) -> SessionResult:
     """Simulate one streaming session to completion (or the time cap).
 
     ``profile=True`` swaps in a :class:`~repro.obs.profile.ProfiledBus`
@@ -135,6 +136,9 @@ def run_session(config: SessionConfig, profile: bool = False,
     :func:`~repro.obs.report.session_report_html` when the session ends;
     it implies trace recording and, being a pure function of the trace,
     produces the same bytes as rendering offline from the exported JSONL.
+    ``ledger`` appends the finished session's headline record to the
+    run ledger at that path (see :mod:`repro.obs.ledger`) — like
+    ``profile``, a measurement knob that never changes the run itself.
     """
     profiler = Profiler() if profile else None
     sim = Simulator(bus=ProfiledBus(profiler) if profile else None)
@@ -217,6 +221,11 @@ def run_session(config: SessionConfig, profile: bool = False,
         from ..obs.trace_export import Trace
         write_report(report, session_report_html(
             Trace(meta=result.trace_meta, events=result.events or [])))
+    if ledger is not None:
+        from ..obs.ledger import RunLedger, session_entry
+
+        RunLedger(ledger).append(session_entry(
+            result, wall_clock=perf_counter() - started))
     return result
 
 

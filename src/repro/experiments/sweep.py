@@ -491,7 +491,16 @@ def merged_histograms(result: SweepResult) -> Dict[str, Any]:
         for name, payload in getattr(summary, "histograms", {}).items():
             histogram = Histogram.from_dict(payload)
             if name in merged:
-                merged[name].merge(histogram)
+                try:
+                    merged[name].merge(histogram)
+                except ValueError as exc:
+                    # Mismatched layouts would silently misfold into
+                    # nonsense quantiles; name the series and both
+                    # layouts instead.
+                    raise ValueError(
+                        f"sweep histograms for {name!r} (run "
+                        f"{summary.config_key[:12]}) have mismatched "
+                        f"bucket layouts: {exc}") from None
             else:
                 merged[name] = histogram
     return merged
@@ -651,8 +660,8 @@ def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
               cache_dir: Optional[str] = None,
               timeout: Optional[float] = None, retries: int = 0,
               bus: Optional[EventBus] = None,
-              runner: Optional[Callable[[Any], RunSummary]] = None
-              ) -> SweepResult:
+              runner: Optional[Callable[[Any], RunSummary]] = None,
+              ledger: Optional[str] = None) -> SweepResult:
     """Run every config, in parallel, reusing cached results.
 
     ``jobs=1`` runs in-process (no pickling, exact tracebacks in events);
@@ -666,6 +675,8 @@ def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
     :func:`default_runner` (it must be a picklable, module-level callable
     when ``jobs > 1``) — the hook the failure-injection tests and custom
     harnesses use.  Lifecycle telemetry is published on ``bus``.
+    ``ledger`` appends the finished sweep's headline record to the run
+    ledger at that path (see :mod:`repro.obs.ledger`).
     """
     configs = list(configs)
     if jobs < 1:
@@ -734,5 +745,10 @@ def run_sweep(configs: Iterable[SweepConfig], jobs: int = 1,
     cache_hits = sum(1 for run in runs if run.cached)
     bus.publish(SweepCompleted(wall, len(runs), succeeded,
                                len(runs) - succeeded, cache_hits))
-    return SweepResult(runs=runs, jobs=jobs, wall_clock=wall,
-                       cache_dir=cache_dir)
+    result = SweepResult(runs=runs, jobs=jobs, wall_clock=wall,
+                         cache_dir=cache_dir)
+    if ledger is not None:
+        from ..obs.ledger import RunLedger, sweep_entry
+
+        RunLedger(ledger).append(sweep_entry(result))
+    return result

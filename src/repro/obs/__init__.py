@@ -31,6 +31,12 @@ functions of a trace, all reconstructible offline:
 measured for wall-clock, sim-time throughput, bus event rate, and peak
 RSS, with baseline comparison for regression gating.
 
+:mod:`repro.obs.ledger` and :mod:`repro.obs.drift` extend observability
+*across* runs: an append-only, content-addressed JSONL run ledger every
+entry point can opt into, and a drift sentinel (EWMA control bands +
+CUSUM change points) that turns the ledger population into a regression
+gate (``repro history``).
+
 The presentation layer sits on top of the derived views:
 :mod:`repro.obs.svg` is a dependency-free SVG chart renderer,
 :mod:`repro.obs.report` turns traces, sweep results, and bench reports
@@ -39,9 +45,12 @@ inputs — live and offline rendering are byte-identical), and
 :mod:`repro.obs.live` draws a live terminal dashboard during sweeps.
 """
 
-from .bench import (BenchReport, BenchResult, compare_reports, run_bench,
-                    run_scenario)
+from .bench import (BenchReport, BenchResult, MetaMismatch, compare_meta,
+                    compare_reports, run_bench, run_scenario)
 from .bus import EventBus
+from .drift import (DriftFinding, control_track, detect_drift,
+                    drift_table, gate_ok, metric_direction, metric_series,
+                    trend_document)
 from .check import (ERROR, INFO, SEVERITIES, WARNING, Checker, CheckReport,
                     InvariantMonitor, Violation, check_trace,
                     stock_checkers)
@@ -61,6 +70,10 @@ from .events import (EVENT_TYPES, RADIO_ACTIVE, RADIO_IDLE, RADIO_TAIL,
                      SweepRunFinished, SweepRunStarted, SweepRunSummarized,
                      SweepStarted, TraceEvent, TransferCompleted,
                      TransferStarted, event_from_dict, event_to_dict)
+from .ledger import (ENTRY_KINDS, LEDGER_SCHEMA, LedgerEntry, LedgerLoad,
+                     RunLedger, bench_entry, environment_fingerprint,
+                     fleet_entry, registry_digest, session_entry,
+                     sweep_entry)
 from .live import FleetDashboard, SweepDashboard
 from .metrics import (Counter, Gauge, Histogram, MetricsRegistry,
                       PathSampler, SessionMetricsCollector, Timeseries,
@@ -72,8 +85,8 @@ from .recorder import (REASON_ORDER, RecorderConfig, ShardRecorder,
                        render_anomaly_reports, replay_anomaly,
                        save_manifest, triage_table)
 from .report import (bench_report_html, fleet_report_html,
-                     session_report_html, sweep_report_html,
-                     triage_report_html, write_report)
+                     history_report_html, session_report_html,
+                     sweep_report_html, triage_report_html, write_report)
 from .spans import (Span, SpanBuilder, dump_chrome_trace, render_span_tree,
                     spans_from_trace, to_chrome_trace, transfer_chunk_map)
 from .trace_export import (Trace, TraceMeta, TraceRecorder,
@@ -86,20 +99,22 @@ from .why import (Attribution, TraceDiff, attribute_anomaly,
                   summarize_attributions)
 
 __all__ = [
-    "ERROR", "EVENT_TYPES", "INFO", "RADIO_ACTIVE", "RADIO_IDLE",
+    "ENTRY_KINDS", "ERROR", "EVENT_TYPES", "INFO", "LEDGER_SCHEMA",
+    "RADIO_ACTIVE", "RADIO_IDLE",
     "RADIO_TAIL", "SEVERITIES", "WARNING",
     "Attribution", "BenchReport", "BenchResult", "CheckReport", "Checker",
     "ChunkDownloaded", "ChunkRequested", "Counter", "CwndRestarted",
     "DeadlineArmed", "DeadlineDisarmed", "DeadlineExtended",
-    "DeadlineMissed", "EventBus", "FleetCheckpointSaved", "FleetCompleted",
+    "DeadlineMissed", "DriftFinding", "EventBus", "FleetCheckpointSaved",
+    "FleetCompleted",
     "FleetDashboard", "FleetSessionCaptured", "FleetShardCompleted",
     "FleetStarted", "FleetWorkerHeartbeat", "Gauge", "Histogram",
-    "HttpRequestSent",
+    "HttpRequestSent", "LedgerEntry", "LedgerLoad", "MetaMismatch",
     "HttpResponseReceived", "InvariantMonitor", "MetricsRegistry",
     "MpDashArmed", "MpDashSkipped", "PacketSent", "PathSampled",
     "PathSampler", "PathStateRequested", "PlaybackEnded",
     "PlaybackStarted", "ProfiledBus", "Profiler", "QualitySwitched",
-    "REASON_ORDER", "RadioStateChange", "RecorderConfig",
+    "REASON_ORDER", "RadioStateChange", "RecorderConfig", "RunLedger",
     "SchedulerActivated", "SessionClosed", "ShardRecorder",
     "SessionMetricsCollector", "Span", "SpanBuilder", "StallEnd",
     "StallStart", "SubflowReconnected", "SubflowStateChange",
@@ -110,20 +125,25 @@ __all__ = [
     "TransferCompleted",
     "TransferStarted", "Violation", "analyzer_from_trace",
     "attribute_anomaly", "attributions_from_trace",
-    "bench_report_html", "check_trace", "collector_from_trace",
-    "compare_reports", "diff_traces", "dump_chrome_trace", "dump_jsonl",
-    "dumps_jsonl",
+    "bench_entry", "bench_report_html", "check_trace",
+    "collector_from_trace",
+    "compare_meta", "compare_reports", "control_track", "detect_drift",
+    "diff_traces", "drift_table", "dump_chrome_trace", "dump_jsonl",
+    "dumps_jsonl", "environment_fingerprint",
     "event_from_dict", "event_to_dict", "exponential_buckets",
-    "find_manifests", "fleet_report_html", "fold_attributions",
-    "gzip_bytes",
+    "find_manifests", "fleet_entry", "fleet_report_html",
+    "fold_attributions", "gate_ok", "gzip_bytes", "history_report_html",
     "linear_buckets", "load_jsonl", "load_manifest", "loads_jsonl",
-    "metric_from_dict", "metrics_from_trace", "rank_anomalies",
-    "registry_from_trace", "render_anomaly_reports",
+    "metric_direction", "metric_from_dict", "metric_series",
+    "metrics_from_trace", "rank_anomalies",
+    "registry_digest", "registry_from_trace", "render_anomaly_reports",
     "render_attributions", "render_span_tree",
     "replay", "replay_anomaly", "run_bench",
-    "run_scenario", "save_manifest", "session_report_html",
+    "run_scenario", "save_manifest", "session_entry",
+    "session_report_html",
     "spans_from_trace", "stock_checkers", "summarize_attributions",
-    "sweep_report_html",
-    "to_chrome_trace", "transfer_chunk_map", "triage_report_html",
+    "sweep_entry", "sweep_report_html",
+    "to_chrome_trace", "transfer_chunk_map", "trend_document",
+    "triage_report_html",
     "triage_table", "write_report",
 ]

@@ -116,6 +116,10 @@ class BenchReport:
 
     def render(self) -> str:
         lines = [f"bench {self.label or '(unlabeled)'}"]
+        if self.meta:
+            env = " ".join(f"{key}={self.meta[key]}"
+                           for key in sorted(self.meta))
+            lines.append(f"  env {env}")
         header = (f"  {'scenario':<10} {'wall s':>8} {'sim s':>8} "
                   f"{'sim/wall':>9} {'events':>8} {'ev/s':>10} "
                   f"{'rss KiB':>9}")
@@ -287,9 +291,13 @@ def run_scenario(name: str, repeats: int = 1) -> BenchResult:
 
 def run_bench(scenarios: Optional[List[str]] = None, repeats: int = 1,
               label: str = "local",
-              progress: Optional[Callable[[str], None]] = None
-              ) -> BenchReport:
-    """Measure the requested scenarios (all of them by default)."""
+              progress: Optional[Callable[[str], None]] = None,
+              ledger: Optional[str] = None) -> BenchReport:
+    """Measure the requested scenarios (all of them by default).
+
+    With ``ledger`` set, the finished report is also appended to the
+    run ledger at that path (see :mod:`repro.obs.ledger`).
+    """
     names = list(SCENARIOS) if scenarios is None else list(scenarios)
     results = []
     for name in names:
@@ -299,7 +307,12 @@ def run_bench(scenarios: Optional[List[str]] = None, repeats: int = 1,
     meta = {"python": platform.python_version(),
             "platform": platform.platform(),
             "machine": platform.machine()}
-    return BenchReport(label=label, results=results, meta=meta)
+    report = BenchReport(label=label, results=results, meta=meta)
+    if ledger is not None:
+        from .ledger import RunLedger, bench_entry
+
+        RunLedger(ledger).append(bench_entry(report))
+    return report
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +321,51 @@ def run_bench(scenarios: Optional[List[str]] = None, repeats: int = 1,
 #: metric field -> direction ("lower" = lower is better).
 _METRICS = {"wall_clock": "lower", "peak_rss_kb": "lower",
             "sim_per_wall": "higher", "events_per_sec": "higher"}
+
+
+@dataclass(frozen=True)
+class MetaMismatch:
+    """One environment field differing between two compared reports.
+
+    Timings from different interpreters, platforms, or machines are not
+    commensurable; a comparison across them can "regress" for reasons
+    that have nothing to do with the code under test.
+    """
+
+    field: str
+    current: Optional[str]
+    baseline: Optional[str]
+
+    def render(self) -> str:
+        def show(value: Optional[str]) -> str:
+            return value if value is not None else "(unrecorded)"
+
+        return (f"environment mismatch: {self.field} is "
+                f"{show(self.current)} here but {show(self.baseline)} "
+                f"in the baseline")
+
+    def __str__(self) -> str:  # pragma: no cover - convenience alias
+        return self.render()
+
+
+def compare_meta(current: BenchReport,
+                 baseline: BenchReport) -> List[MetaMismatch]:
+    """Environment fields differing between the two reports.
+
+    Empty means the recorded environments agree (or neither recorded
+    any).  ``repro bench --compare`` prints these as warnings — they
+    never gate, but they explain a gating verdict's credibility.
+    """
+    mismatches: List[MetaMismatch] = []
+    for name in sorted(set(current.meta) | set(baseline.meta)):
+        mine = current.meta.get(name)
+        theirs = baseline.meta.get(name)
+        if mine != theirs:
+            mismatches.append(MetaMismatch(
+                field=name,
+                current=None if mine is None else str(mine),
+                baseline=None if theirs is None else str(theirs)))
+    return mismatches
 
 
 def compare_reports(current: BenchReport, baseline: BenchReport,

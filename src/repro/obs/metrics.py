@@ -228,10 +228,18 @@ class Histogram:
         return self.max
 
     def merge(self, other: "Histogram") -> None:
-        if other.bounds != self.bounds:
+        # Name both layouts: "which two runs disagree and how" is the
+        # whole diagnosis when a sweep folds mismatched histograms.
+        if list(other.bounds) != list(self.bounds):
             raise ValueError(
-                f"cannot merge histograms with different bounds: "
-                f"{self.name} {self.bounds} vs {other.bounds}")
+                f"cannot merge histograms with mismatched bucket "
+                f"layouts: {self.name} has bounds {list(self.bounds)} "
+                f"but {other.name} has bounds {list(other.bounds)}")
+        if len(other.counts) != len(self.counts):
+            raise ValueError(
+                f"cannot merge histograms with mismatched bucket "
+                f"layouts: {self.name} has {len(self.counts)} buckets "
+                f"but {other.name} has {len(other.counts)}")
         for index, bucket_count in enumerate(other.counts):
             self.counts[index] += bucket_count
         self.count += other.count
@@ -254,7 +262,13 @@ class Histogram:
     def from_dict(cls, payload: Mapping[str, Any]) -> "Histogram":
         histogram = cls(payload["name"], list(payload["bounds"]),
                         payload.get("labels") or None)
-        histogram.counts = list(payload["counts"])
+        counts = list(payload["counts"])
+        if len(counts) != len(histogram.bounds) + 1:
+            raise ValueError(
+                f"histogram {histogram.name!r} payload is inconsistent: "
+                f"{len(histogram.bounds)} bounds need "
+                f"{len(histogram.bounds) + 1} buckets, got {len(counts)}")
+        histogram.counts = counts
         histogram.count = payload["count"]
         histogram.sum = payload["sum"]
         histogram.min = payload["min"]

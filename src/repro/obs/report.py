@@ -1185,6 +1185,178 @@ def bench_report_html(reports: Sequence[BenchReport],
     return _document("MP-DASH benchmark report", subtitle, sections)
 
 
+# ----------------------------------------------------------------------
+# Longitudinal history report (the run ledger's view)
+# ----------------------------------------------------------------------
+#: Metric leafs rendered first within each kind's trend panel; anything
+#: else follows alphabetically.
+_HISTORY_PRIORITY = (
+    "qoe", "bitrate_mbps", "bitrate_p50_mbps", "deadline_misses",
+    "stalled_session_fraction", "stall_seconds", "stall_seconds_p95",
+    "cellular_mbytes", "cellular_mbytes_p50", "energy_joules",
+    "radio_energy_p50_joules", "violations", "sim_per_wall",
+    "wall_clock_seconds", "peak_rss_kb",
+)
+
+
+def _history_metric_order(metric: str) -> Tuple[int, str]:
+    try:
+        return (_HISTORY_PRIORITY.index(metric), metric)
+    except ValueError:
+        return (len(_HISTORY_PRIORITY), metric)
+
+
+def _history_overview_panel(entries: Sequence[Any],
+                            findings: Sequence[Any],
+                            gate_passed: bool) -> str:
+    by_kind: Dict[str, int] = {}
+    for entry in entries:
+        by_kind[entry.kind] = by_kind.get(entry.kind, 0) + 1
+    by_severity: Dict[str, int] = {ERROR: 0, WARNING: 0, INFO: 0}
+    for finding in findings:
+        by_severity[finding.severity] += 1
+    tiles = [(str(len(entries)), "", "ledger entries")]
+    tiles.extend((str(count), "", f"{kind} runs")
+                 for kind, count in sorted(by_kind.items()))
+    tiles.append((str(by_severity[ERROR]), "", "error drift"))
+    tiles.append((str(by_severity[WARNING]), "", "warning drift"))
+    badge = ('<span class="badge good">gate: pass</span>'
+             if gate_passed else
+             '<span class="badge critical">gate: fail</span>')
+    return _panel("History", _tiles(tiles), f"<p>{badge}</p>")
+
+
+def _history_trend_panels(entries: Sequence[Any],
+                          findings: Sequence[Any]) -> List[str]:
+    from .drift import control_track, metric_series
+
+    series_map = metric_series(entries)
+    drifted: Dict[Tuple[str, str], List[Any]] = {}
+    for finding in findings:
+        drifted.setdefault((finding.kind, finding.metric),
+                           []).append(finding)
+    kinds: List[str] = []
+    for entry in entries:
+        if entry.kind not in kinds:
+            kinds.append(entry.kind)
+    panels: List[str] = []
+    for kind in kinds:
+        metrics = sorted((metric for k, metric in series_map if k == kind),
+                         key=_history_metric_order)
+        charts: List[str] = []
+        for metric in metrics:
+            points = series_map[(kind, metric)]
+            values = [value for _, _, value in points]
+            means, _stds = control_track(values)
+            series = [Series(metric,
+                             [(float(position), value)
+                              for position, _, value in points]),
+                      Series("ewma",
+                             [(float(position), mean)
+                              for (position, _, _), mean
+                              in zip(points, means)])]
+            lane_findings = drifted.get((kind, metric), [])
+            refs = sorted({float(f.position) for f in lane_findings})
+            title = metric
+            worst = _worst_severity(lane_findings)
+            if worst is not None:
+                title = f"{metric} [{worst}]"
+            charts.append(line_chart(
+                series, width=352, height=190, y_label=metric,
+                markers=True, y_min=None, refs=refs, title=title,
+                x_label="ledger position"))
+        if charts:
+            panels.append(_panel(
+                f"Trends: {kind}",
+                legend_html([(series_class(0), "recorded"),
+                             (series_class(1), "EWMA baseline")]),
+                f'<div class="row">{"".join(charts)}</div>',
+                _note("vertical lines mark drift findings at that "
+                      "ledger position")))
+    return panels
+
+
+def _worst_severity(findings: Sequence[Any]) -> Optional[str]:
+    for severity in (ERROR, WARNING, INFO):
+        if any(f.severity == severity for f in findings):
+            return severity
+    return None
+
+
+def _history_findings_panel(findings: Sequence[Any]) -> str:
+    if not findings:
+        return _panel("Drift findings",
+                      _note("no drift detected across the ledger"))
+    rows = [[_severity_badge(f.severity),
+             escape(f"{f.kind}.{f.metric}"), escape(f.detector),
+             escape(f.direction), str(f.position),
+             f'<span class="mono">{escape(f.entry_id[:12])}</span>',
+             escape(f.message)]
+            for f in findings]
+    return _panel(
+        "Drift findings",
+        _table([("severity", False), ("series", False),
+                ("detector", False), ("direction", False),
+                ("position", True), ("entry", False),
+                ("finding", False)], rows))
+
+
+def _history_entries_panel(entries: Sequence[Any]) -> str:
+    rows = []
+    for position, entry in enumerate(entries):
+        environment = " ".join(
+            f"{key}={value}"
+            for key, value in sorted(entry.environment.items()))
+        rows.append([str(position), escape(entry.kind),
+                     f'<span class="mono">{escape(entry.entry_id[:12])}'
+                     "</span>",
+                     f'<span class="mono">{escape(entry.key[:12])}</span>',
+                     escape(entry.label), str(len(entry.metrics)),
+                     escape(environment)])
+    return _panel(
+        "Ledger entries",
+        _table([("#", True), ("kind", False), ("entry", False),
+                ("key", False), ("label", False), ("metrics", True),
+                ("environment", False)], rows))
+
+
+def history_report_html(entries: Sequence[Any],
+                        findings: Optional[Sequence[Any]] = None,
+                        bench_reports: Sequence[BenchReport] = (),
+                        baseline: Optional[BenchReport] = None,
+                        threshold: float = 0.25,
+                        warnings: Sequence[str] = ()) -> str:
+    """Single-file longitudinal report over a loaded run ledger.
+
+    A pure function of the entry sequence (plus any loaded
+    ``BENCH_*.json`` trajectory reports): the same ledger renders
+    byte-identical HTML.  ``findings`` defaults to running the drift
+    sentinel (:func:`~repro.obs.drift.detect_drift`) at its default
+    tuning; ``warnings`` surfaces tolerated-load messages (corrupt
+    ledger lines) in the document.
+    """
+    from .drift import detect_drift, gate_ok
+
+    entries = list(entries)
+    if findings is None:
+        findings = detect_drift(entries)
+    sections = [_history_overview_panel(entries, findings,
+                                        gate_ok(findings))]
+    sections.extend(_history_trend_panels(entries, findings))
+    sections.append(_history_findings_panel(findings))
+    if entries:
+        sections.append(_history_entries_panel(entries))
+    if bench_reports:
+        sections.append(_bench_section(list(bench_reports), baseline,
+                                       threshold))
+    for warning in warnings:
+        sections.append(_note(f"ledger warning: {warning}"))
+    subtitle = (f"{len(entries)} ledger entr"
+                f"{'y' if len(entries) == 1 else 'ies'}, "
+                f"{len(findings)} drift finding(s)")
+    return _document("MP-DASH run history", subtitle, sections)
+
+
 def write_report(path: str, html: str) -> None:
     """Write a rendered report to ``path`` (UTF-8)."""
     with open(path, "w", encoding="utf-8") as handle:

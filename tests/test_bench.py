@@ -5,7 +5,8 @@ import json
 import pytest
 
 from repro.obs.bench import (SCENARIOS, BenchReport, BenchResult,
-                             compare_reports, run_bench, run_scenario)
+                             compare_meta, compare_reports, run_bench,
+                             run_scenario)
 
 
 def result(scenario="single", wall_clock=1.0, sim_seconds=300.0,
@@ -166,3 +167,69 @@ class TestRunBench:
         assert report.label == "test"
         assert report.meta["python"]
         assert lines and "single" in lines[0]
+
+    def test_ledger_opt_in_appends_bench_entry(self, tmp_path):
+        from repro.obs.ledger import RunLedger
+
+        path = str(tmp_path / "runs.jsonl")
+        report = run_bench(scenarios=["single"], label="test", ledger=path)
+        entries = RunLedger(path).entries()
+        assert len(entries) == 1
+        entry = entries[0]
+        assert entry.kind == "bench" and entry.key == "test"
+        assert entry.metrics["single.wall_clock"] == pytest.approx(
+            report.result("single").wall_clock)
+        assert entry.environment == dict(report.meta)
+
+
+class TestEnvironmentMeta:
+    def meta(self, **overrides):
+        base = {"python": "3.11.7", "platform": "Linux-6.1-x86_64",
+                "machine": "x86_64"}
+        base.update(overrides)
+        return base
+
+    def test_render_includes_environment_line(self):
+        report = BenchReport(label="x", results=[result()],
+                             meta=self.meta())
+        text = report.render()
+        assert "env machine=x86_64 platform=Linux-6.1-x86_64" in text
+        assert "python=3.11.7" in text
+
+    def test_render_without_meta_has_no_env_line(self):
+        report = BenchReport(label="x", results=[result()])
+        assert "env " not in report.render()
+
+    def report(self, **overrides):
+        return BenchReport(label="x", results=[result()],
+                           meta=self.meta(**overrides))
+
+    def test_compare_meta_agreement_is_silent(self):
+        assert compare_meta(self.report(), self.report()) == []
+
+    def test_compare_meta_flags_each_differing_field(self):
+        mismatches = compare_meta(self.report(),
+                                  self.report(python="3.10.0",
+                                              machine="aarch64"))
+        assert sorted(m.field for m in mismatches) == ["machine", "python"]
+        python = [m for m in mismatches if m.field == "python"][0]
+        assert python.current == "3.11.7"
+        assert python.baseline == "3.10.0"
+        text = python.render()
+        assert "environment mismatch" in text
+        assert "3.11.7" in text and "3.10.0" in text
+        assert str(python) == text
+
+    def test_compare_meta_handles_unrecorded_fields(self):
+        old_baseline = BenchReport(label="old", results=[result()],
+                                   meta={"python": "3.10.0"})
+        mismatches = compare_meta(self.report(python="3.10.0"),
+                                  old_baseline)
+        assert sorted(m.field for m in mismatches) == ["machine",
+                                                       "platform"]
+        assert all(m.baseline is None for m in mismatches)
+        assert all("(unrecorded)" in m.render() for m in mismatches)
+
+    def test_compare_meta_empty_both_ways(self):
+        bare = BenchReport(label="bare", results=[result()])
+        assert compare_meta(bare, bare) == []

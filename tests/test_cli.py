@@ -408,7 +408,27 @@ class TestBench:
         assert main(["bench", "--scenarios", "single", "--out", out]) == 0
         capsys.readouterr()
         assert main(["bench", "--load", out, "--compare", out]) == 0
-        assert "no regression" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "no regression" in err
+        assert "environment mismatch" not in err
+
+    def test_compare_warns_on_environment_mismatch(self, tmp_path,
+                                                   capsys):
+        out = str(tmp_path / "BENCH_a.json")
+        assert main(["bench", "--scenarios", "single", "--out", out]) == 0
+        payload = json.loads(open(out).read())
+        payload["meta"]["python"] = "2.7.18"
+        other = str(tmp_path / "BENCH_elsewhere.json")
+        with open(other, "w") as handle:
+            json.dump(payload, handle)
+        capsys.readouterr()
+        # Same numbers, different recorded environment: a warning, not
+        # a gate failure.
+        assert main(["bench", "--load", out, "--compare", other]) == 0
+        err = capsys.readouterr().err
+        assert "repro bench: warning: environment mismatch" in err
+        assert "2.7.18" in err
+        assert "no regression" in err
 
     def test_compare_tightened_baseline_exits_nonzero(self, tmp_path,
                                                       capsys):
@@ -805,3 +825,230 @@ class TestTopValidation:
         err = capsys.readouterr().err
         assert "argument --top" in err
         assert "positive integer" in err or "not an integer" in err
+
+
+def _seed_ledger(path, misses=(0.0, 0.0, 0.0), kind="fleet"):
+    """Hand-built single-metric history; returns the entries in order.
+
+    Labels are distinct per entry so the content-addressed ids differ
+    even when a perfectly stable history repeats one metric value.
+    """
+    from repro.obs.ledger import LedgerEntry, RunLedger
+
+    ledger = RunLedger(path)
+    entries = []
+    for i, value in enumerate(misses):
+        entry = LedgerEntry(kind=kind, key="grid", label=f"run{i}",
+                            environment={"python": "3.11"},
+                            metrics={"deadline_misses": value,
+                                     "qoe": 5.0})
+        ledger.append(entry)
+        entries.append(entry)
+    return entries
+
+
+class TestHistory:
+    def test_list_table_goes_to_stderr(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        assert main(["history", "list", "--ledger", path]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "3 entries" in captured.err
+        assert "fleet" in captured.err
+
+    def test_list_json_is_pure_stdout(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        entries = _seed_ledger(path)
+        assert main(["history", "list", "--ledger", path, "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["entry_id"] for e in payload] == [
+            entry.entry_id for entry in entries]
+
+    def test_kind_and_last_filters(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path, misses=(0.0, 1.0, 2.0))
+        _seed_ledger(path, misses=(9.0,), kind="session")
+        assert main(["history", "list", "--ledger", path,
+                     "--kind", "fleet", "--last", "2", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [e["metrics"]["deadline_misses"] for e in payload] == [1.0,
+                                                                     2.0]
+
+    def test_missing_ledger_lists_empty(self, tmp_path, capsys):
+        assert main(["history", "list", "--ledger",
+                     str(tmp_path / "never.jsonl"), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == []
+
+    def test_corrupt_line_warns_on_stderr(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        with open(path, "a") as handle:
+            handle.write("{torn")  # crash mid-append
+        assert main(["history", "list", "--ledger", path, "--json"]) == 0
+        captured = capsys.readouterr()
+        assert len(json.loads(captured.out)) == 3
+        assert "skipped unreadable ledger line" in captured.err
+
+    def test_show_prints_canonical_entry(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        entries = _seed_ledger(path)
+        target = entries[1]
+        assert main(["history", "show", target.entry_id[:10],
+                     "--ledger", path]) == 0
+        captured = capsys.readouterr()
+        payload = json.loads(captured.out)
+        assert payload["entry_id"] == target.entry_id
+        assert "deadline_misses" in captured.err  # human metric table
+
+    def test_show_unknown_prefix_exits_2(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        assert main(["history", "show", "ffffff", "--ledger", path]) == 2
+        assert "no entry matching" in capsys.readouterr().err
+
+    def test_show_ambiguous_prefix_exits_2(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path, misses=(0.0, 1.0))
+        assert main(["history", "show", "", "--ledger", path]) == 2
+        assert "ambiguous" in capsys.readouterr().err
+
+    def test_show_requires_exactly_one_id(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        assert main(["history", "show", "--ledger", path]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_diff_reports_deltas(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        entries = _seed_ledger(path, misses=(2.0, 6.0))
+        assert main(["history", "diff", entries[0].entry_id[:10],
+                     entries[1].entry_id[:10], "--ledger", path,
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        misses = [d for d in document["metrics"]
+                  if d["metric"] == "deadline_misses"][0]
+        assert misses["a"] == 2.0 and misses["b"] == 6.0
+        assert misses["delta"] == 4.0
+        assert misses["relative"] == pytest.approx(2.0)
+        assert document["environment_changes"] == {}
+
+    def test_diff_requires_two_ids(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        assert main(["history", "diff", "--ledger", path]) == 2
+        assert "exactly two" in capsys.readouterr().err
+
+    def test_trend_json_document(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        assert main(["history", "trend", "--ledger", path,
+                     "--json"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["entries"] == 3
+        assert document["gate_ok"] is True
+        assert {s["metric"] for s in document["series"]} == {
+            "deadline_misses", "qoe"}
+
+    def test_trend_html_written(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        html = str(tmp_path / "trend.html")
+        assert main(["history", "trend", "--ledger", path,
+                     "--html", html]) == 0
+        text = open(html).read()
+        assert "MP-DASH run history" in text
+        assert "deadline_misses" in text
+        assert "written to" in capsys.readouterr().err
+
+    def test_trend_html_bad_bench_report_exits_2(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        assert main(["history", "trend", "--ledger", path,
+                     "--html", str(tmp_path / "t.html"),
+                     "--bench", str(tmp_path / "missing.json")]) == 2
+        assert "cannot load bench report" in capsys.readouterr().err
+
+    def test_gate_passes_on_stable_history(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path)
+        assert main(["history", "gate", "--ledger", path]) == 0
+        assert "drift gate passed" in capsys.readouterr().err
+
+    def test_gate_fails_on_adverse_drift(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path, misses=(0.0, 0.0, 0.0, 50.0))
+        assert main(["history", "gate", "--ledger", path]) == 1
+        err = capsys.readouterr().err
+        assert "DRIFT GATE FAILED" in err
+        assert "deadline_misses" in err
+
+    def test_gate_flag_is_an_alias(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path, misses=(0.0, 0.0, 0.0, 50.0))
+        assert main(["history", "--gate", "--ledger", path]) == 1
+        capsys.readouterr()
+
+    def test_gate_json_document(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path, misses=(0.0, 0.0, 0.0, 50.0))
+        assert main(["history", "gate", "--ledger", path, "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["gate_ok"] is False
+        assert any(f["severity"] == "error"
+                   for f in document["findings"])
+
+    def test_stream_ledger_flag_appends(self, tmp_path, capsys):
+        from repro.obs.ledger import RunLedger
+
+        path = str(tmp_path / "runs.jsonl")
+        assert main(["stream", "--abr", "gpac", "--duration", "60",
+                     "--wifi", "10", "--lte", "10",
+                     "--ledger", path]) == 0
+        capsys.readouterr()
+        entries = RunLedger(path).entries()
+        assert len(entries) == 1 and entries[0].kind == "session"
+
+
+class TestHistoryDeterminism:
+    """The pinned ISSUE contract: every derived view is a byte-
+    deterministic pure function of the ledger file."""
+
+    def _trend_bytes(self, path, capsys):
+        assert main(["history", "trend", "--ledger", path,
+                     "--json"]) == 0
+        return capsys.readouterr().out
+
+    def test_trend_json_is_byte_identical(self, tmp_path, capsys):
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path, misses=(0.0, 1.0, 0.0, 50.0))
+        assert self._trend_bytes(path, capsys) == self._trend_bytes(
+            path, capsys)
+
+    def test_history_html_is_byte_identical(self, tmp_path):
+        from repro.obs import history_report_html
+        from repro.obs.ledger import RunLedger
+
+        path = str(tmp_path / "runs.jsonl")
+        _seed_ledger(path, misses=(0.0, 1.0, 0.0, 50.0))
+        entries = RunLedger(path).entries()
+        first = history_report_html(entries)
+        second = history_report_html(RunLedger(path).entries())
+        assert first.encode("utf-8") == second.encode("utf-8")
+
+    def test_gate_verdict_survives_copying_the_ledger(self, tmp_path,
+                                                      capsys):
+        import shutil
+
+        live = str(tmp_path / "live.jsonl")
+        _seed_ledger(live, misses=(0.0, 0.0, 0.0, 50.0))
+        copy = str(tmp_path / "copy.jsonl")
+        shutil.copyfile(live, copy)
+        live_code = main(["history", "gate", "--ledger", live])
+        live_out = capsys.readouterr()
+        copy_code = main(["history", "gate", "--ledger", copy])
+        copy_out = capsys.readouterr()
+        assert live_code == copy_code == 1
+        assert live_out.err == copy_out.err
+        assert self._trend_bytes(live, capsys) == self._trend_bytes(
+            copy, capsys)

@@ -137,6 +137,29 @@ class TestHistogram:
         with pytest.raises(ValueError):
             a.merge(b)
 
+    def test_merge_error_names_both_layouts(self):
+        a = Histogram("slack_a", [1.0, 2.0])
+        b = Histogram("slack_b", [1.0, 5.0])
+        with pytest.raises(ValueError,
+                           match="mismatched bucket layouts") as excinfo:
+            a.merge(b)
+        message = str(excinfo.value)
+        assert "slack_a" in message and "[1.0, 2.0]" in message
+        assert "slack_b" in message and "[1.0, 5.0]" in message
+
+    def test_merge_rejects_mismatched_bucket_counts(self):
+        a = Histogram("lat", [1.0, 2.0])
+        b = Histogram("lat", [1.0, 2.0])
+        b.counts = [0, 0]  # corrupted payload: one bucket short
+        with pytest.raises(ValueError, match="lat"):
+            a.merge(b)
+
+    def test_from_dict_rejects_inconsistent_counts(self):
+        payload = Histogram("lat", [1.0, 2.0]).to_dict()
+        payload["counts"] = [0, 0]  # 2 bounds need 3 buckets
+        with pytest.raises(ValueError, match="payload is inconsistent"):
+            Histogram.from_dict(payload)
+
     def test_dict_round_trip(self):
         histogram = Histogram("lat", [1.0, 2.0], {"path": "wifi"})
         histogram.observe(0.5)

@@ -460,3 +460,69 @@ class TestTriageReportHtml:
         html = triage_report_html([])
         parse_document(html)
         assert "no captured anomalies" in html
+
+
+class TestHistoryReportHtml:
+    def entries(self, misses=(0.0, 0.0, 0.0, 50.0)):
+        from repro.obs.ledger import LedgerEntry
+
+        return [LedgerEntry(kind="fleet", key="grid", label=f"run{i}",
+                            environment={"python": "3.11"},
+                            metrics={"deadline_misses": value,
+                                     "qoe": 5.0})
+                for i, value in enumerate(misses)]
+
+    def test_well_formed_and_self_contained(self):
+        from repro.obs import history_report_html
+
+        html = history_report_html(self.entries())
+        parse_document(html)
+        assert_self_contained(html)
+        assert "MP-DASH run history" in html
+        assert "deadline_misses" in html
+
+    def test_drift_findings_annotate_the_report(self):
+        from repro.obs import history_report_html
+
+        html = history_report_html(self.entries())
+        assert "gate" in html.lower()
+        assert "error" in html.lower()  # the adverse spike gates
+
+    def test_stable_history_reports_clean_gate(self):
+        from repro.obs import history_report_html
+
+        html = history_report_html(self.entries(misses=(0.0, 0.0, 0.0)))
+        parse_document(html)
+        assert "no drift detected" in html
+
+    def test_empty_ledger_renders(self):
+        from repro.obs import history_report_html
+
+        html = history_report_html([])
+        parse_document(html)
+        assert "0 ledger entries" in html
+
+    def test_bench_trajectory_section_included(self):
+        from repro.obs import history_report_html
+
+        html = history_report_html(
+            self.entries(), bench_reports=[bench_report("a"),
+                                           bench_report("b", wall=1.1)])
+        parse_document(html)
+        assert "single" in html  # the bench scenario row
+
+    def test_load_warnings_are_surfaced(self):
+        from repro.obs import history_report_html
+
+        html = history_report_html(
+            self.entries(),
+            warnings=("runs.jsonl:9: skipped unreadable ledger line",))
+        parse_document(html)
+        assert "skipped unreadable ledger line" in html
+
+    def test_byte_deterministic_for_same_entries(self):
+        from repro.obs import history_report_html
+
+        entries = self.entries()
+        assert history_report_html(entries) == history_report_html(
+            list(entries))

@@ -361,6 +361,23 @@ class TestSweepHistograms:
         sweep = run_sweep([short_config()])
         assert merged_histograms(sweep) == {}
 
+    def test_merged_histograms_names_series_and_run_on_mismatch(self):
+        from repro.experiments.sweep import merged_histograms
+
+        sweep = run_sweep([self._metric_config(),
+                           self._metric_config(wifi_mbps=6.0)])
+        bad = sweep.summaries[1]
+        name = "repro_deadline_slack_seconds"
+        payload = dict(bad.histograms[name])
+        payload["bounds"] = [b * 2.0 for b in payload["bounds"]]
+        bad.histograms[name] = payload
+        with pytest.raises(ValueError,
+                           match="mismatched bucket layouts") as excinfo:
+            merged_histograms(sweep)
+        message = str(excinfo.value)
+        assert name in message
+        assert bad.config_key[:12] in message
+
     def test_sweep_table_reports_slack(self):
         sweep = run_sweep([self._metric_config()])
         table = sweep_table(sweep)
